@@ -1,0 +1,326 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nashdb::bench {
+
+namespace {
+
+std::size_t ScaledQueries(std::size_t n, double scale) {
+  return std::max<std::size_t>(10, static_cast<std::size_t>(
+                                       static_cast<double>(n) * scale));
+}
+
+}  // namespace
+
+NamedWorkload StaticTpch(double scale, Money price) {
+  TpchOptions opts;
+  opts.db_gb = 1000.0 * scale;
+  opts.tuples_per_gb = kTuplesPerGb;
+  opts.num_queries = ScaledQueries(220, scale);
+  opts.price = price;
+  return NamedWorkload{"TPC-H", MakeTpchWorkload(opts), true};
+}
+
+NamedWorkload StaticBernoulli(double scale, Money price) {
+  BernoulliOptions opts;
+  opts.db_gb = 1000.0 * scale;
+  opts.tuples_per_gb = kTuplesPerGb;
+  opts.num_queries = ScaledQueries(500, scale);
+  opts.price = price;
+  return NamedWorkload{"Bernoulli", MakeBernoulliWorkload(opts), true};
+}
+
+NamedWorkload StaticReal1(double scale, Money price) {
+  RealData1StaticOptions opts;
+  opts.db_gb = 800.0 * scale;
+  opts.tuples_per_gb = kTuplesPerGb;
+  opts.num_queries = ScaledQueries(1000, scale);
+  opts.price = price;
+  return NamedWorkload{"Real data 1", MakeRealData1StaticWorkload(opts),
+                       true};
+}
+
+NamedWorkload DynamicRandom(double scale, Money price) {
+  RandomWorkloadOptions opts;
+  opts.db_gb = 1000.0 * scale;
+  opts.tuples_per_gb = kTuplesPerGb;
+  opts.num_queries = ScaledQueries(2000, scale);
+  opts.price = price;
+  return NamedWorkload{"Random", MakeRandomWorkload(opts), false};
+}
+
+NamedWorkload DynamicReal1(double scale, Money price) {
+  RealData1DynamicOptions opts;
+  opts.db_gb = 300.0 * scale;
+  opts.tuples_per_gb = kTuplesPerGb;
+  opts.num_queries = ScaledQueries(1220, scale);
+  opts.price = price;
+  return NamedWorkload{"Real data 1", MakeRealData1DynamicWorkload(opts),
+                       false};
+}
+
+NamedWorkload DynamicReal2(double scale, Money price) {
+  RealData2DynamicOptions opts;
+  opts.db_gb = 3000.0 * scale;
+  opts.tuples_per_gb = kTuplesPerGb;
+  opts.num_queries = ScaledQueries(2500, scale);
+  opts.price = price;
+  return NamedWorkload{"Real data 2", MakeRealData2DynamicWorkload(opts),
+                       false};
+}
+
+std::vector<NamedWorkload> AllStaticWorkloads(double scale) {
+  std::vector<NamedWorkload> out;
+  out.push_back(StaticTpch(scale));
+  out.push_back(StaticBernoulli(scale));
+  out.push_back(StaticReal1(scale));
+  return out;
+}
+
+std::vector<NamedWorkload> AllDynamicWorkloads(double scale) {
+  std::vector<NamedWorkload> out;
+  out.push_back(DynamicRandom(scale));
+  out.push_back(DynamicReal1(scale));
+  out.push_back(DynamicReal2(scale));
+  return out;
+}
+
+void SetUniformPrice(Workload* wl, Money price) {
+  for (TimedQuery& tq : wl->queries) {
+    std::vector<std::pair<TableId, TupleRange>> ranges;
+    ranges.reserve(tq.query.scans.size());
+    for (const Scan& s : tq.query.scans) {
+      ranges.emplace_back(s.table, s.range);
+    }
+    tq.query = MakeQuery(tq.query.id, price, ranges);
+  }
+}
+
+std::unique_ptr<NashDbSystem> MakeNashDb(const Dataset& dataset,
+                                         const BenchEconomics& econ) {
+  NashDbOptions opts;
+  opts.window_scans = econ.window_scans;
+  opts.block_tuples = econ.block_tuples;
+  opts.node_cost = econ.node_cost;
+  opts.node_disk = econ.node_disk;
+  opts.min_replicas = 1;
+  opts.max_replicas = econ.max_replicas;
+  return std::make_unique<NashDbSystem>(dataset, opts);
+}
+
+std::unique_ptr<ThresholdSystem> MakeThreshold(const Dataset& dataset,
+                                               const BenchEconomics& econ,
+                                               std::size_t num_nodes) {
+  ThresholdOptions opts;
+  opts.window_scans = econ.window_scans;
+  opts.num_nodes = num_nodes;
+  opts.node_disk = econ.node_disk;
+  opts.node_cost = econ.node_cost;
+  opts.cold_block_tuples = econ.block_tuples * 4;
+  return std::make_unique<ThresholdSystem>(dataset, opts);
+}
+
+std::unique_ptr<HypergraphSystem> MakeHypergraph(const Dataset& dataset,
+                                                 const BenchEconomics& econ,
+                                                 std::size_t num_partitions) {
+  HypergraphSystemOptions opts;
+  opts.window_scans = econ.window_scans;
+  opts.num_partitions = num_partitions;
+  opts.node_disk = econ.node_disk;
+  opts.node_cost = econ.node_cost;
+  opts.max_imbalance = 0.10;
+  return std::make_unique<HypergraphSystem>(dataset, opts);
+}
+
+DriverOptions BenchDriver(bool is_static) {
+  DriverOptions d;
+  d.sim.tuples_per_second = 150.0;            // ~150 MB/s per disk
+  d.sim.transfer_tuples_per_second = 500.0;   // ~500 MB/s network
+  d.sim.span_overhead_s = 0.35;
+  d.sim.node_cost_per_hour = 1.0;
+  d.reconfigure_interval_s = 3600.0;          // hourly (§10)
+  d.phi_s = 0.35;
+  d.warmup_observe = is_static;
+  d.periodic_reconfigure = !is_static;
+  return d;
+}
+
+std::size_t MinNodesFor(const Dataset& dataset, const BenchEconomics& econ) {
+  const TupleCount total = dataset.TotalTuples();
+  return static_cast<std::size_t>((total + econ.node_disk - 1) /
+                                  econ.node_disk) +
+         1;
+}
+
+BenchEconomics CalibratedEconomics(const NamedWorkload& nw,
+                                   std::size_t window_scans,
+                                   Money rent_per_hour,
+                                   Money static_fallback_cost) {
+  BenchEconomics econ;
+  econ.window_scans = window_scans;
+  // Replicas beyond the plausible concurrency level are pure rent; tiny
+  // hot fragments would otherwise explode under Eq. 9 (their storage cost
+  // tends to zero while scan income does not).
+  econ.max_replicas = 32;
+  std::size_t total_scans = 0;
+  for (const TimedQuery& tq : nw.workload.queries) {
+    total_scans += tq.query.scans.size();
+  }
+  const SimTime span =
+      nw.workload.queries.empty() ? 0.0 : nw.workload.queries.back().arrival;
+  if (span <= 0.0 || total_scans == 0) {
+    econ.node_cost = static_fallback_cost;
+    return econ;
+  }
+  const double scans_per_hour =
+      static_cast<double>(total_scans) / (span / 3600.0);
+  const double window_hours =
+      static_cast<double>(window_scans) / scans_per_hour;
+  econ.node_cost = rent_per_hour * window_hours;
+  return econ;
+}
+
+namespace {
+
+DriverOptions DriverFor(const NamedWorkload& nw, const BenchEconomics& econ) {
+  DriverOptions d = BenchDriver(nw.is_static);
+  // Dynamic experiments measure the steady state: let every system see a
+  // window's worth of scans before its bootstrap configuration.
+  if (!nw.is_static) d.prewarm_scans = econ.window_scans;
+  return d;
+}
+
+}  // namespace
+
+RunResult RunNashDb(const NamedWorkload& nw, const BenchEconomics& econ,
+                    Money price) {
+  Workload wl = nw.workload;
+  SetUniformPrice(&wl, price);
+  auto system = MakeNashDb(wl.dataset, econ);
+  MaxOfMinsRouter router;
+  return RunWorkload(wl, system.get(), &router, DriverFor(nw, econ));
+}
+
+RunResult RunThreshold(const NamedWorkload& nw, const BenchEconomics& econ,
+                       std::size_t num_nodes) {
+  auto system = MakeThreshold(nw.workload.dataset, econ, num_nodes);
+  MaxOfMinsRouter router;
+  return RunWorkload(nw.workload, system.get(), &router, DriverFor(nw, econ));
+}
+
+RunResult RunHypergraph(const NamedWorkload& nw, const BenchEconomics& econ,
+                        std::size_t num_partitions) {
+  auto system = MakeHypergraph(nw.workload.dataset, econ, num_partitions);
+  MaxOfMinsRouter router;
+  return RunWorkload(nw.workload, system.get(), &router, DriverFor(nw, econ));
+}
+
+std::vector<std::size_t> NodeGrid(const Dataset& dataset,
+                                  const BenchEconomics& econ,
+                                  std::size_t max_nodes, int points) {
+  const std::size_t lo = MinNodesFor(dataset, econ);
+  const std::size_t hi = std::max(lo + 1, max_nodes);
+  std::vector<std::size_t> grid;
+  for (int i = 0; i < points; ++i) {
+    const double f = static_cast<double>(i) / (points - 1);
+    const std::size_t n = static_cast<std::size_t>(
+        std::round(static_cast<double>(lo) *
+                   std::pow(static_cast<double>(hi) /
+                                static_cast<double>(lo),
+                            f)));
+    if (grid.empty() || grid.back() != n) grid.push_back(n);
+  }
+  return grid;
+}
+
+std::size_t ClosestByLatency(const std::vector<RunResult>& runs,
+                             double target_latency) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const double di = std::abs(runs[i].MeanLatency() - target_latency);
+    const double db = std::abs(runs[best].MeanLatency() - target_latency);
+    if (di < db * 0.9) {
+      best = i;
+    } else if (di < db * 1.1 &&
+               runs[i].total_cost < runs[best].total_cost) {
+      best = i;  // near-tie on latency: prefer the cheaper config
+    }
+  }
+  return best;
+}
+
+SystemSweeps RunAllSweeps(const NamedWorkload& nw,
+                          const BenchEconomics& econ) {
+  SystemSweeps sweeps;
+  for (Money price : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    sweeps.nash.push_back(RunNashDb(nw, econ, price));
+  }
+  for (std::size_t n :
+       NodeGrid(nw.workload.dataset, econ, /*max_nodes=*/160, 7)) {
+    sweeps.hyper.push_back(RunHypergraph(nw, econ, n));
+    sweeps.thresh.push_back(RunThreshold(nw, econ, n));
+  }
+  return sweeps;
+}
+
+std::size_t ClosestByCost(const std::vector<RunResult>& runs,
+                          Money target_cost) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const double di = std::abs(runs[i].total_cost - target_cost);
+    const double db = std::abs(runs[best].total_cost - target_cost);
+    if (di < db * 0.9) {
+      best = i;
+    } else if (di < db * 1.1 &&
+               runs[i].MeanLatency() < runs[best].MeanLatency()) {
+      best = i;  // near-tie on cost: prefer the faster config
+    }
+  }
+  return best;
+}
+
+void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%-16s", i ? " " : "", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+std::vector<bool> ParetoFront(const std::vector<ParetoPoint>& points) {
+  std::vector<bool> optimal(points.size(), true);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      const bool dominates =
+          points[j].latency_s <= points[i].latency_s &&
+          points[j].cost <= points[i].cost &&
+          (points[j].latency_s < points[i].latency_s ||
+           points[j].cost < points[i].cost);
+      if (dominates) {
+        optimal[i] = false;
+        break;
+      }
+    }
+  }
+  return optimal;
+}
+
+}  // namespace nashdb::bench

@@ -1,0 +1,69 @@
+// Reproduces Figure 7 (a, b, c): cost/latency production possibilities of
+// NashDB (sweeping the uniform query price), Hypergraph (sweeping the
+// partition count), and Threshold (sweeping the node count) on the three
+// static workloads, with the Pareto-optimal points marked.
+//
+// Expected shape: the Pareto front is (almost) entirely NashDB points.
+
+#include "bench/bench_common.h"
+
+namespace nashdb::bench {
+namespace {
+
+void RunOne(const NamedWorkload& nw) {
+  PrintTitle("Figure 7: Pareto analysis — " + nw.name);
+  BenchEconomics econ;
+  econ.window_scans = 250;
+  econ.node_cost = 3.0;
+  econ.max_replicas = 512;  // let the price knob reach the high-capacity end
+
+  std::vector<ParetoPoint> points;
+
+  // NashDB: sweep uniform query price (the paper: 0 to 128).
+  for (Money price :
+       {0.05, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    const RunResult r = RunNashDb(nw, econ, price);
+    points.push_back(ParetoPoint{r.MeanLatency(), r.total_cost,
+                                 "NashDB(p=" + Fmt(price, 2) + ")"});
+  }
+  // Baselines: sweep cluster size (the paper: 4 to 400 nodes).
+  for (std::size_t n :
+       NodeGrid(nw.workload.dataset, econ, /*max_nodes=*/220, 7)) {
+    const RunResult rt = RunThreshold(nw, econ, n);
+    points.push_back(ParetoPoint{rt.MeanLatency(), rt.total_cost,
+                                 "Threshold(n=" + std::to_string(n) + ")"});
+    const RunResult rh = RunHypergraph(nw, econ, n);
+    points.push_back(ParetoPoint{rh.MeanLatency(), rh.total_cost,
+                                 "Hypergraph(k=" + std::to_string(n) + ")"});
+  }
+
+  const std::vector<bool> front = ParetoFront(points);
+  PrintRow({"Config", "Latency(s)", "Cost", "Pareto"});
+  std::size_t nash_front = 0, other_front = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PrintRow({points[i].label, Fmt(points[i].latency_s, 1),
+              Fmt(points[i].cost, 2), front[i] ? "*" : ""});
+    if (front[i]) {
+      if (points[i].label.rfind("NashDB", 0) == 0) {
+        ++nash_front;
+      } else {
+        ++other_front;
+      }
+    }
+  }
+  std::printf(
+      "Pareto front: %zu NashDB points, %zu baseline points "
+      "(paper: all or nearly all NashDB).\n",
+      nash_front, other_front);
+}
+
+void Run() {
+  RunOne(StaticTpch(0.4));
+  RunOne(StaticBernoulli(0.4));
+  RunOne(StaticReal1(0.4));
+}
+
+}  // namespace
+}  // namespace nashdb::bench
+
+int main() { nashdb::bench::Run(); }

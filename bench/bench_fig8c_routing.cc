@@ -1,0 +1,64 @@
+// Reproduces Figure 8c (latency) and Figure 9c (query span): the three
+// scan-routing algorithms on NashDB configurations over the dynamic
+// workloads, at approximately the same cluster cost.
+//
+// Expected shape: Max-of-mins lowest latency; span ordering
+// GreedySC (~1.1) < MaxOfMins (~1.5) < ShortestQueue (~3.3).
+
+#include "bench/bench_common.h"
+
+namespace nashdb::bench {
+namespace {
+
+RunResult RunWithRouter(const NamedWorkload& nw, const BenchEconomics& econ,
+                        ScanRouter* router) {
+  Workload wl = nw.workload;
+  SetUniformPrice(&wl, 4.0);
+  auto system = MakeNashDb(wl.dataset, econ);
+  DriverOptions d = BenchDriver(nw.is_static);
+  if (!nw.is_static) d.prewarm_scans = econ.window_scans;
+  return RunWorkload(wl, system.get(), router, d);
+}
+
+void Run() {
+  PrintTitle("Figure 8c: average latency by routing algorithm");
+
+  struct Row {
+    std::string dataset;
+    RunResult mm, sq, sc;
+  };
+  std::vector<Row> rows;
+  for (const NamedWorkload& nw : AllDynamicWorkloads(0.35)) {
+    const BenchEconomics econ = CalibratedEconomics(nw);
+    MaxOfMinsRouter mm;
+    ShortestQueueRouter sq;
+    GreedyScRouter sc;
+    Row row;
+    row.dataset = nw.name;
+    row.mm = RunWithRouter(nw, econ, &mm);
+    row.sq = RunWithRouter(nw, econ, &sq);
+    row.sc = RunWithRouter(nw, econ, &sc);
+    rows.push_back(std::move(row));
+  }
+
+  PrintRow({"Dataset", "Max of mins", "Shortest queue", "Greedy SC"});
+  for (const Row& row : rows) {
+    PrintRow({row.dataset, Fmt(row.mm.MeanLatency(), 1),
+              Fmt(row.sq.MeanLatency(), 1), Fmt(row.sc.MeanLatency(), 1)});
+  }
+
+  PrintTitle("Figure 9c: average query span by routing algorithm");
+  PrintRow({"Dataset", "Max of mins", "Shortest queue", "Greedy SC"});
+  for (const Row& row : rows) {
+    PrintRow({row.dataset, Fmt(row.mm.MeanSpan(), 2),
+              Fmt(row.sq.MeanSpan(), 2), Fmt(row.sc.MeanSpan(), 2)});
+  }
+  std::printf(
+      "\nShape check: Max-of-mins fastest; span GreedySC < MaxOfMins < "
+      "ShortestQueue\n(paper: ~1.1 / ~1.5 / ~3.3 on Real data 2).\n");
+}
+
+}  // namespace
+}  // namespace nashdb::bench
+
+int main() { nashdb::bench::Run(); }

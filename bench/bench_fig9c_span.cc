@@ -1,0 +1,45 @@
+// Reproduces Figure 9c: average query span (distinct nodes used per
+// query) under the three routing algorithms on the dynamic workloads.
+//
+// Expected shape: GreedySC (~1.1) < MaxOfMins (~1.5) << ShortestQueue
+// (~3.3) — Max-of-mins widens the span only when the latency benefit
+// beats the φ penalty.
+
+#include "bench/bench_common.h"
+
+namespace nashdb::bench {
+namespace {
+
+void Run() {
+  PrintTitle("Figure 9c: average query span by routing algorithm");
+
+  PrintRow({"Dataset", "Max of mins", "Shortest queue", "Greedy SC"});
+  for (const NamedWorkload& nw : AllDynamicWorkloads(0.35)) {
+    const BenchEconomics econ = CalibratedEconomics(nw);
+    Workload wl = nw.workload;
+    SetUniformPrice(&wl, 4.0);
+
+    auto run = [&](ScanRouter* router) {
+      auto system = MakeNashDb(wl.dataset, econ);
+      DriverOptions d = BenchDriver(nw.is_static);
+      if (!nw.is_static) d.prewarm_scans = econ.window_scans;
+      return RunWorkload(wl, system.get(), router, d);
+    };
+    MaxOfMinsRouter mm;
+    ShortestQueueRouter sq;
+    GreedyScRouter sc;
+    const RunResult r_mm = run(&mm);
+    const RunResult r_sq = run(&sq);
+    const RunResult r_sc = run(&sc);
+    PrintRow({nw.name, Fmt(r_mm.MeanSpan(), 2), Fmt(r_sq.MeanSpan(), 2),
+              Fmt(r_sc.MeanSpan(), 2)});
+  }
+  std::printf(
+      "\nShape check: GreedySC lowest span, ShortestQueue highest, "
+      "Max-of-mins between.\n");
+}
+
+}  // namespace
+}  // namespace nashdb::bench
+
+int main() { nashdb::bench::Run(); }

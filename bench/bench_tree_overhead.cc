@@ -1,0 +1,65 @@
+// Reproduces the §10.1 "Value estimation overhead" measurement: memory
+// footprint and access time of the tuple value estimation tree at scan
+// window sizes 50 and 1000 (the paper: < 1 KB / < 4 KB and < 5 ms
+// access; our augmented nodes are larger but stay within the same order).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace nashdb::bench {
+namespace {
+
+// Feeds `window` scans of a TPC-H-style stream into an estimator.
+TupleValueEstimator MakeLoadedEstimator(std::size_t window) {
+  TupleValueEstimator est(window);
+  TpchOptions opts;
+  opts.db_gb = 1000.0;
+  opts.tuples_per_gb = kTuplesPerGb;
+  opts.num_queries = 2 * window;  // enough to fill and churn the window
+  const Workload wl = MakeTpchWorkload(opts);
+  for (const TimedQuery& tq : wl.queries) est.AddQuery(tq.query);
+  return est;
+}
+
+void BM_TreeInsertEvict(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  TupleValueEstimator est = MakeLoadedEstimator(window);
+  Rng rng(1);
+  Scan s;
+  s.table = kLineitem;
+  s.price = 1.0;
+  for (auto _ : state) {
+    const TupleIndex a = rng.Uniform(600'000);
+    s.range = TupleRange{a, a + 1 + rng.Uniform(90'000)};
+    est.AddScan(s);  // evicts the oldest scan once the window is full
+  }
+  state.counters["size_bytes"] =
+      static_cast<double>(est.SizeBytes());
+}
+BENCHMARK(BM_TreeInsertEvict)->Arg(50)->Arg(1000);
+
+void BM_TreeValueLookup(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  TupleValueEstimator est = MakeLoadedEstimator(window);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        est.ValueAt(kLineitem, rng.Uniform(700'000)));
+  }
+}
+BENCHMARK(BM_TreeValueLookup)->Arg(50)->Arg(1000);
+
+void BM_TreeProfileMaterialize(benchmark::State& state) {
+  const std::size_t window = static_cast<std::size_t>(state.range(0));
+  TupleValueEstimator est = MakeLoadedEstimator(window);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Profile(kLineitem, 700'000));
+  }
+}
+BENCHMARK(BM_TreeProfileMaterialize)->Arg(50)->Arg(1000);
+
+}  // namespace
+}  // namespace nashdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Priority tiers: two customer classes share one elastic cluster.
+//
+// "Gold" analysts pay 8x the standard query price. NashDB turns that
+// single knob into more replicas of gold-touched data, which Max-of-mins
+// then exploits to give gold queries lower latency — no manual partition
+// or cluster tuning (paper §10.2).
+//
+// Build & run:  ./build/examples/priority_tiers
+
+#include <cstdio>
+
+#include "nashdb/nashdb.h"
+
+using namespace nashdb;
+
+namespace {
+
+constexpr Money kStandardPrice = 1.0;
+constexpr Money kGoldPrice = 8.0;
+
+// Gold analysts study the risk region; standard users roam widely.
+Workload MakeTieredWorkload(TupleCount table_size, std::size_t queries) {
+  Workload wl;
+  wl.name = "tiered";
+  wl.dataset.tables.push_back(TableSpec{0, "positions", table_size});
+  Rng rng(2024);
+  for (std::size_t i = 0; i < queries; ++i) {
+    TimedQuery tq;
+    const bool gold = i % 4 == 0;  // 25% of queries are gold
+    if (gold) {
+      // Gold: the risk book, a fixed hot quarter of the table.
+      const TupleIndex start =
+          table_size / 2 + rng.Uniform(table_size / 8);
+      tq.query = MakeQuery(static_cast<QueryId>(i * 10 + 1), kGoldPrice,
+                           {{0, TupleRange{start, start + table_size / 8}}});
+    } else {
+      // Standard: uniform ad-hoc ranges.
+      const TupleIndex start = rng.Uniform(table_size * 3 / 4);
+      tq.query = MakeQuery(static_cast<QueryId>(i * 10), kStandardPrice,
+                           {{0, TupleRange{start, start + table_size / 4}}});
+    }
+    tq.arrival = static_cast<SimTime>(i) * 240.0;  // one every 4 minutes
+    wl.queries.push_back(std::move(tq));
+  }
+  return wl;
+}
+
+}  // namespace
+
+int main() {
+  const Workload wl = MakeTieredWorkload(200'000, 360);
+
+  NashDbOptions options;
+  options.window_scans = 120;
+  options.block_tuples = 5'000;
+  options.node_cost = 6.0;
+  options.node_disk = 50'000;
+  NashDbSystem system(wl.dataset, options);
+
+  MaxOfMinsRouter router;
+  DriverOptions driver;
+  driver.sim.tuples_per_second = 500.0;
+  driver.sim.transfer_tuples_per_second = 5'000.0;
+  driver.reconfigure_interval_s = 3600.0;
+
+  const RunResult result = RunWorkload(wl, &system, &router, driver);
+
+  double gold_lat = 0.0, std_lat = 0.0;
+  int gold_n = 0, std_n = 0;
+  for (const QueryRecord& r : result.records) {
+    if (r.id % 10 == 1) {
+      gold_lat += r.latency_s;
+      ++gold_n;
+    } else {
+      std_lat += r.latency_s;
+      ++std_n;
+    }
+  }
+  gold_lat /= gold_n;
+  std_lat /= std_n;
+
+  std::printf("Tiered workload: %d gold + %d standard queries\n", gold_n,
+              std_n);
+  std::printf("  gold latency     : %7.1f s (price %.0f)\n", gold_lat,
+              kGoldPrice);
+  std::printf("  standard latency : %7.1f s (price %.0f)\n", std_lat,
+              kStandardPrice);
+  std::printf("  cluster cost     : %7.1f cents, final size %zu nodes\n",
+              result.total_cost, result.final_nodes);
+  std::printf(
+      "\nGold's higher price bought extra replicas of the risk book, so "
+      "its\nqueries route around queues that standard queries must wait "
+      "in.\n");
+  return gold_lat < std_lat ? 0 : 1;
+}

@@ -1,0 +1,199 @@
+#include "baselines/hypergraph_system.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+#include "replication/incremental.h"
+#include "replication/packer.h"
+
+namespace nashdb {
+
+HypergraphSystem::HypergraphSystem(Dataset dataset,
+                                   const HypergraphSystemOptions& options)
+    : dataset_(std::move(dataset)),
+      options_(options),
+      freq_estimator_(
+          std::make_unique<TupleValueEstimator>(options.window_scans)) {
+  NASHDB_CHECK_GT(options_.num_partitions, 0u);
+  NASHDB_CHECK_GT(options_.node_disk, 0u);
+}
+
+void HypergraphSystem::Observe(const Query& query) {
+  // Frequency semantics: price == size makes V(x) the access frequency.
+  Query q = query;
+  for (Scan& s : q.scans) s.price = static_cast<Money>(s.range.size());
+  freq_estimator_->AddQuery(q);
+}
+
+ClusterConfig HypergraphSystem::BuildConfig() {
+  const TupleCount total_tuples = dataset_.TotalTuples();
+  NASHDB_CHECK_GT(total_tuples, 0u);
+  const std::size_t k = options_.num_partitions;
+
+  // Partition each table into a share of the k global partitions
+  // proportional to its size (at least one part per non-empty table).
+  std::vector<FragmentInfo> fragments;
+  HypergraphFragmenter::Options frag_opts;
+  frag_opts.max_imbalance = options_.max_imbalance;
+  HypergraphFragmenter fragmenter(frag_opts);
+
+  std::vector<Scan> table_scans;
+  for (const TableSpec& table : dataset_.tables) {
+    if (table.tuples == 0) continue;
+    double share = static_cast<double>(table.tuples) /
+                   static_cast<double>(total_tuples) *
+                   static_cast<double>(k);
+    std::size_t k_t = std::max<std::size_t>(
+        1, static_cast<std::size_t>(share + 0.5));
+    // Every part must fit one node.
+    const std::size_t min_parts = static_cast<std::size_t>(
+        (table.tuples + options_.node_disk - 1) / options_.node_disk);
+    k_t = std::max(k_t, min_parts);
+
+    const ValueProfile profile =
+        freq_estimator_->Profile(table.id, table.tuples);
+    table_scans.clear();
+    for (const Scan& s : freq_estimator_->window()) {
+      if (s.table == table.id) table_scans.push_back(s);
+    }
+    FragmentationContext ctx;
+    ctx.table = table.id;
+    ctx.profile = &profile;
+    ctx.window_scans = table_scans;
+
+    const FragmentationScheme scheme = fragmenter.Refragment(ctx, k_t);
+    NASHDB_CHECK(scheme.Valid());
+    for (std::size_t i = 0; i < scheme.fragments.size(); ++i) {
+      FragmentInfo info;
+      info.table = table.id;
+      info.index_in_table = static_cast<FragmentId>(i);
+      info.range = scheme.fragments[i];
+      info.value = profile.TotalValue(info.range);
+      info.replicas = 1;
+      fragments.push_back(info);
+    }
+  }
+
+  // Base placement: parts onto exactly k nodes, first-fit decreasing by
+  // size (co-locating nothing in particular — SWORD treats parts as the
+  // placement unit).
+  std::vector<std::vector<FlatFragmentId>> node_frags(k);
+  std::vector<TupleCount> node_used(k, 0);
+  std::vector<std::size_t> order(fragments.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fragments[a].size() > fragments[b].size();
+  });
+  std::vector<NodeId> home(fragments.size(), kInvalidNode);
+  for (std::size_t idx : order) {
+    std::size_t best = k;
+    for (std::size_t m = 0; m < k; ++m) {
+      if (node_used[m] + fragments[idx].size() > options_.node_disk) continue;
+      if (best == k || node_used[m] < node_used[best]) best = m;
+    }
+    NASHDB_CHECK_LT(best, k)
+        << "Hypergraph cluster too small: " << k << " nodes of "
+        << options_.node_disk << " tuples cannot hold the database";
+    node_frags[best].push_back(static_cast<FlatFragmentId>(idx));
+    node_used[best] += fragments[idx].size();
+    home[idx] = static_cast<NodeId>(best);
+  }
+
+  // Improved-LMBR-style replication: consolidate the heaviest window
+  // scans. For each scan spanning > 1 node, try to copy its missing
+  // fragments onto the involved node with the most free space.
+  std::vector<std::set<FlatFragmentId>> holds(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    holds[m].insert(node_frags[m].begin(), node_frags[m].end());
+  }
+  // Fragment ranges per table sorted by start for overlap lookups.
+  std::map<TableId, std::vector<FlatFragmentId>> by_table;
+  for (FlatFragmentId fid = 0; fid < fragments.size(); ++fid) {
+    by_table[fragments[fid].table].push_back(fid);
+  }
+
+  std::vector<Scan> window(freq_estimator_->window().begin(),
+                           freq_estimator_->window().end());
+  std::sort(window.begin(), window.end(), [](const Scan& a, const Scan& b) {
+    return a.range.size() > b.range.size();
+  });
+  for (const Scan& s : window) {
+    auto it = by_table.find(s.table);
+    if (it == by_table.end()) continue;
+    std::vector<FlatFragmentId> needed;
+    for (FlatFragmentId fid : it->second) {
+      if (fragments[fid].range.Overlaps(s.range)) needed.push_back(fid);
+    }
+    if (needed.size() < 2) continue;
+    // Nodes already touched by the scan.
+    std::set<NodeId> span_nodes;
+    for (FlatFragmentId fid : needed) span_nodes.insert(home[fid]);
+    if (span_nodes.size() < 2) continue;
+    // Try to consolidate onto the involved node with the most free space.
+    NodeId target = kInvalidNode;
+    for (NodeId m : span_nodes) {
+      if (target == kInvalidNode || node_used[m] < node_used[target]) {
+        target = m;
+      }
+    }
+    TupleCount extra = 0;
+    bool feasible = true;
+    for (FlatFragmentId fid : needed) {
+      if (holds[target].count(fid)) continue;
+      extra += fragments[fid].size();
+      if (node_used[target] + extra > options_.node_disk) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    for (FlatFragmentId fid : needed) {
+      if (holds[target].insert(fid).second) {
+        node_frags[target].push_back(fid);
+        node_used[target] += fragments[fid].size();
+      }
+    }
+  }
+
+  ReplicationParams params;
+  params.node_cost = options_.node_cost;
+  params.node_disk = options_.node_disk;
+  params.window_scans = freq_estimator_->window_scans();
+  params.min_replicas = 1;
+
+  if (last_config_.has_value()) {
+    // Derive this round's replica counts from the fresh native placement,
+    // then place them incrementally against the previous configuration.
+    std::vector<std::size_t> counts(fragments.size(), 0);
+    for (const auto& frags : node_frags) {
+      for (FlatFragmentId fid : frags) ++counts[fid];
+    }
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+      fragments[i].replicas = counts[i];
+    }
+    IncrementalOptions inc;
+    inc.max_nodes = k;
+    Result<ClusterConfig> config =
+        RepackIncremental(params, std::move(fragments), &*last_config_, inc);
+    NASHDB_CHECK(config.ok()) << config.status().ToString();
+    last_config_ = *config;
+    return std::move(config).value();
+  }
+
+  Result<ClusterConfig> config =
+      BuildConfigFromPlacement(params, std::move(fragments), node_frags);
+  NASHDB_CHECK(config.ok()) << config.status().ToString();
+  last_config_ = *config;
+  return std::move(config).value();
+}
+
+void HypergraphSystem::Reset() {
+  freq_estimator_ =
+      std::make_unique<TupleValueEstimator>(options_.window_scans);
+  last_config_.reset();
+}
+
+}  // namespace nashdb

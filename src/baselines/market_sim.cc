@@ -1,0 +1,57 @@
+#include "baselines/market_sim.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace nashdb {
+
+MarketSimResult SimulateReplicaMarket(const ReplicationParams& params,
+                                      std::vector<FragmentInfo> fragments,
+                                      std::uint64_t seed,
+                                      std::size_t max_rounds) {
+  MarketSimResult result;
+  Rng rng(seed);
+
+  std::vector<std::size_t> order(fragments.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ++result.rounds;
+    bool any_move = false;
+    rng.Shuffle(&order);
+    for (std::size_t idx : order) {
+      FragmentInfo& f = fragments[idx];
+      const Money cost = ReplicaCost(f.size(), params);
+      // One better-response action per fragment per round — the firms do
+      // not coordinate, so the market inches toward the fixed point.
+      if (params.max_replicas == 0 || f.replicas < params.max_replicas) {
+        // A prospective entrant stocks the replica if it clears a profit.
+        if (ReplicaIncome(f.value, f.replicas + 1, params) - cost > 0.0) {
+          ++f.replicas;
+          ++result.moves;
+          any_move = true;
+          continue;
+        }
+      }
+      if (f.replicas > params.min_replicas) {
+        // An incumbent abandons a loss-making replica.
+        if (ReplicaIncome(f.value, f.replicas, params) - cost < 0.0) {
+          --f.replicas;
+          ++result.moves;
+          any_move = true;
+        }
+      }
+    }
+    if (!any_move) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.fragments = std::move(fragments);
+  return result;
+}
+
+}  // namespace nashdb

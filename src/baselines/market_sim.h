@@ -1,0 +1,43 @@
+#ifndef NASHDB_BASELINES_MARKET_SIM_H_
+#define NASHDB_BASELINES_MARKET_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "replication/replication.h"
+
+namespace nashdb {
+
+/// Outcome of an iterative replica-market simulation.
+struct MarketSimResult {
+  /// Final replica counts (in FragmentInfo::replicas).
+  std::vector<FragmentInfo> fragments;
+  /// Full passes over the market until quiescence (or the round cap).
+  std::size_t rounds = 0;
+  /// Individual add/drop decisions executed.
+  std::size_t moves = 0;
+  /// True if a full round produced no moves (a Nash equilibrium).
+  bool converged = false;
+};
+
+/// Mariposa-style market simulation ([41], §9): instead of computing the
+/// equilibrium replica counts directly (Eq. 9), firms iteratively take
+/// better-response actions — an entrant stocks a replica whose marginal
+/// profit is positive, an incumbent drops a replica whose profit is
+/// negative — in randomized order until no profitable move remains.
+///
+/// The fixed point is exactly the Eq. 9 allocation (modulo ties at zero
+/// marginal profit), but reaching it costs many rounds; this function
+/// exists to quantify the paper's core claim that NashDB's direct
+/// computation avoids that overhead (see bench_ablation_market).
+///
+/// Initial replica counts are taken from the input fragments (commonly 0
+/// or 1). min_replicas in `params` is respected as a drop floor.
+MarketSimResult SimulateReplicaMarket(const ReplicationParams& params,
+                                      std::vector<FragmentInfo> fragments,
+                                      std::uint64_t seed,
+                                      std::size_t max_rounds = 100000);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_BASELINES_MARKET_SIM_H_

@@ -1,0 +1,233 @@
+#include "baselines/threshold_system.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "replication/incremental.h"
+#include "replication/packer.h"
+
+namespace nashdb {
+namespace {
+
+// Rewrites a query so every scan carries price == size, making the
+// estimator's V(x) equal to the fraction of window scans touching x — raw
+// access frequency, the only statistic E-Store uses.
+Query AsFrequencyQuery(const Query& query) {
+  Query q = query;
+  for (Scan& s : q.scans) {
+    s.price = static_cast<Money>(s.range.size());
+  }
+  return q;
+}
+
+struct PlannedFragment {
+  FragmentInfo info;
+  bool hot = false;
+};
+
+}  // namespace
+
+ThresholdSystem::ThresholdSystem(Dataset dataset,
+                                 const ThresholdOptions& options)
+    : dataset_(std::move(dataset)),
+      options_(options),
+      freq_estimator_(
+          std::make_unique<TupleValueEstimator>(options.window_scans)) {
+  NASHDB_CHECK_GT(options_.num_nodes, 0u);
+  NASHDB_CHECK_GT(options_.node_disk, 0u);
+}
+
+void ThresholdSystem::Observe(const Query& query) {
+  freq_estimator_->AddQuery(AsFrequencyQuery(query));
+}
+
+ClusterConfig ThresholdSystem::BuildConfig() {
+  // Global mean access frequency (tuple-weighted across all tables).
+  Money freq_mass = 0.0;
+  TupleCount total_tuples = 0;
+  std::vector<ValueProfile> profiles;
+  profiles.reserve(dataset_.tables.size());
+  for (const TableSpec& t : dataset_.tables) {
+    profiles.push_back(freq_estimator_->Profile(t.id, t.tuples));
+    freq_mass += profiles.back().GrandTotal();
+    total_tuples += t.tuples;
+  }
+  NASHDB_CHECK_GT(total_tuples, 0u);
+  const Money mean_freq = freq_mass / static_cast<Money>(total_tuples);
+  const Money hot_cutoff = options_.hot_multiplier * mean_freq;
+
+  // Fragmentation: hot runs become fragments of their own; cold spans are
+  // carved into large placement blocks.
+  std::vector<PlannedFragment> planned;
+  const TupleCount max_frag =
+      std::min<TupleCount>(options_.node_disk, options_.cold_block_tuples);
+  for (std::size_t ti = 0; ti < dataset_.tables.size(); ++ti) {
+    const TableSpec& table = dataset_.tables[ti];
+    if (table.tuples == 0) continue;
+    const ValueProfile& profile = profiles[ti];
+    FragmentId next_index = 0;
+
+    auto emit = [&](TupleIndex a, TupleIndex b, bool hot) {
+      // Split oversized pieces so each fits the block/disk limit.
+      while (a < b) {
+        const TupleIndex e = std::min<TupleIndex>(b, a + max_frag);
+        PlannedFragment pf;
+        pf.info.table = table.id;
+        pf.info.index_in_table = next_index++;
+        pf.info.range = TupleRange{a, e};
+        pf.info.value = profile.TotalValue(pf.info.range);
+        pf.info.replicas = 1;
+        pf.hot = hot;
+        planned.push_back(pf);
+        a = e;
+      }
+    };
+
+    // Walk value chunks, grouping into maximal hot/cold runs.
+    TupleIndex run_start = 0;
+    bool run_hot = false;
+    bool first = true;
+    std::size_t hot_count = 0;
+    for (const ValueChunk& c : profile.chunks()) {
+      const bool hot =
+          mean_freq > 0.0 && c.value > hot_cutoff &&
+          hot_count < options_.max_hot_frags;
+      if (first) {
+        run_start = c.start;
+        run_hot = hot;
+        first = false;
+      } else if (hot != run_hot) {
+        emit(run_start, c.start, run_hot);
+        if (run_hot) ++hot_count;
+        run_start = c.start;
+        run_hot = hot;
+      }
+    }
+    if (!first) emit(run_start, table.tuples, run_hot);
+  }
+
+  ReplicationParams params;
+  params.node_cost = options_.node_cost;
+  params.node_disk = options_.node_disk;
+  params.window_scans = freq_estimator_->window_scans();
+  params.min_replicas = 1;
+
+  // Placement ("Greedy extended"): fragments in decreasing frequency-mass
+  // order, each base copy onto the least-loaded node with room.
+  const std::size_t n_nodes = options_.num_nodes;
+  std::vector<std::vector<FlatFragmentId>> node_frags(n_nodes);
+  std::vector<TupleCount> node_used(n_nodes, 0);
+  std::vector<Money> node_load(n_nodes, 0.0);
+
+  std::vector<std::size_t> order(planned.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return planned[a].info.value > planned[b].info.value;
+  });
+
+  auto least_loaded_with_room = [&](TupleCount size,
+                                    const std::vector<bool>& holds)
+      -> std::size_t {
+    std::size_t best = n_nodes;
+    for (std::size_t m = 0; m < n_nodes; ++m) {
+      if (holds[m] || node_used[m] + size > options_.node_disk) continue;
+      // Least frequency-load first; break ties (e.g. among cold blocks,
+      // which carry ~zero load) toward the emptiest disk so cold data
+      // spreads across the whole cluster as E-Store does.
+      if (best == n_nodes || node_load[m] < node_load[best] ||
+          (node_load[m] == node_load[best] &&
+           node_used[m] < node_used[best])) {
+        best = m;
+      }
+    }
+    return best;
+  };
+
+  std::vector<std::vector<bool>> holds(
+      planned.size(), std::vector<bool>(n_nodes, false));
+  std::vector<std::size_t> replica_count(planned.size(), 0);
+
+  for (std::size_t idx : order) {
+    const PlannedFragment& pf = planned[idx];
+    const std::size_t m = least_loaded_with_room(pf.info.size(), holds[idx]);
+    NASHDB_CHECK_LT(m, n_nodes)
+        << "Threshold cluster too small: " << n_nodes << " nodes of "
+        << options_.node_disk << " tuples cannot hold the database";
+    node_frags[m].push_back(static_cast<FlatFragmentId>(idx));
+    node_used[m] += pf.info.size();
+    node_load[m] += pf.info.value;
+    holds[idx][m] = true;
+    replica_count[idx] = 1;
+  }
+
+  // Replication: hot fragments gain replicas in linear proportion to
+  // access frequency, scaled so the fixed cluster's spare space is used.
+  // Replica targets are computed in one pass (proportional shares of the
+  // spare volume); placement stays greedy least-loaded.
+  TupleCount spare = 0;
+  for (std::size_t m = 0; m < n_nodes; ++m) {
+    spare += options_.node_disk - node_used[m];
+  }
+  Money hot_value = 0.0;
+  for (const PlannedFragment& pf : planned) {
+    if (pf.hot) hot_value += pf.info.value;
+  }
+  if (hot_value > 0.0 && spare > 0) {
+    // Hottest first so they win any contention for the last slots.
+    for (std::size_t idx : order) {
+      const PlannedFragment& pf = planned[idx];
+      if (!pf.hot || pf.info.size() == 0) continue;
+      const double share =
+          static_cast<double>(spare) * (pf.info.value / hot_value);
+      std::size_t extra = static_cast<std::size_t>(
+          share / static_cast<double>(pf.info.size()));
+      extra = std::min<std::size_t>(extra, n_nodes - replica_count[idx]);
+      for (std::size_t r = 0; r < extra; ++r) {
+        const std::size_t m =
+            least_loaded_with_room(pf.info.size(), holds[idx]);
+        if (m == n_nodes) break;
+        node_frags[m].push_back(static_cast<FlatFragmentId>(idx));
+        node_used[m] += pf.info.size();
+        node_load[m] += pf.info.value /
+                        static_cast<Money>(replica_count[idx] + 1);
+        holds[idx][m] = true;
+        ++replica_count[idx];
+      }
+    }
+  }
+
+  std::vector<FragmentInfo> fragments;
+  fragments.reserve(planned.size());
+  for (const PlannedFragment& pf : planned) fragments.push_back(pf.info);
+
+  if (last_config_.has_value()) {
+    // Keep this round's replica targets but place them incrementally
+    // against the previous configuration to avoid placement churn.
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+      fragments[i].replicas = replica_count[i];
+    }
+    IncrementalOptions inc;
+    inc.max_nodes = n_nodes;
+    Result<ClusterConfig> config =
+        RepackIncremental(params, std::move(fragments), &*last_config_, inc);
+    NASHDB_CHECK(config.ok()) << config.status().ToString();
+    last_config_ = *config;
+    return std::move(config).value();
+  }
+
+  Result<ClusterConfig> config =
+      BuildConfigFromPlacement(params, std::move(fragments), node_frags);
+  NASHDB_CHECK(config.ok()) << config.status().ToString();
+  last_config_ = *config;
+  return std::move(config).value();
+}
+
+void ThresholdSystem::Reset() {
+  freq_estimator_ =
+      std::make_unique<TupleValueEstimator>(options_.window_scans);
+  last_config_.reset();
+}
+
+}  // namespace nashdb

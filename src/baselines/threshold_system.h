@@ -1,0 +1,63 @@
+#ifndef NASHDB_BASELINES_THRESHOLD_SYSTEM_H_
+#define NASHDB_BASELINES_THRESHOLD_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "engine/system.h"
+#include "value/estimator.h"
+#include "workload/workload.h"
+
+namespace nashdb {
+
+/// Options for the E-Store-style thresholding baseline (paper §10.3,
+/// "Threshold"). The tuning knob is `num_nodes`: the cluster size is fixed
+/// and all data is spread over exactly that many nodes; more nodes cost
+/// more but serve queries faster.
+struct ThresholdOptions {
+  std::size_t window_scans = 50;
+  /// Fixed cluster size (the sweep parameter of Figures 7/8).
+  std::size_t num_nodes = 8;
+  TupleCount node_disk = 2'000'000;
+  Money node_cost = 10.0;
+  /// A tuple is "hot" when its access frequency exceeds this multiple of
+  /// the database-wide mean frequency.
+  double hot_multiplier = 2.0;
+  /// Granularity for carving cold data into placement blocks.
+  TupleCount cold_block_tuples = 200'000;
+  /// Cap on hot fragments per table (hot chunks beyond the cap are merged
+  /// with neighbors), keeping placement tractable.
+  std::size_t max_hot_frags = 4096;
+};
+
+/// E-Store-like baseline: classifies tuples as hot/cold by raw access
+/// frequency (no prices), places hot fragments one by one on the
+/// least-loaded node ("Greedy extended" of [42]), carves cold data into
+/// large blocks, and replicates hot data in proportion to access frequency
+/// until the fixed cluster's spare disk is exhausted. Priority-agnostic by
+/// design — this is the property the paper's prioritization experiments
+/// contrast against.
+class ThresholdSystem : public DistributionSystem {
+ public:
+  ThresholdSystem(Dataset dataset, const ThresholdOptions& options);
+
+  std::string_view name() const override { return "Threshold"; }
+  void Observe(const Query& query) override;
+  ClusterConfig BuildConfig() override;
+  void Reset() override;
+
+ private:
+  Dataset dataset_;
+  ThresholdOptions options_;
+  std::unique_ptr<TupleValueEstimator> freq_estimator_;
+  /// Previous configuration; reconfigurations after the first are placed
+  /// incrementally against it (E-Store migrates deltas rather than
+  /// rebuilding placements, and fresh placements would dominate the
+  /// Figure 9b transfer measurements with artificial churn).
+  std::optional<ClusterConfig> last_config_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_BASELINES_THRESHOLD_SYSTEM_H_

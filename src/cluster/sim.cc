@@ -1,0 +1,68 @@
+#include "cluster/sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+ClusterSim::ClusterSim(const ClusterSimOptions& options) : options_(options) {
+  NASHDB_CHECK_GT(options_.tuples_per_second, 0.0);
+  NASHDB_CHECK_GT(options_.transfer_tuples_per_second, 0.0);
+}
+
+void ClusterSim::ApplyConfig(const ClusterConfig& config, SimTime now,
+                             const TransitionPlan* plan) {
+  // Settle rent at the old node count up to `now`.
+  accrued_cost_ += static_cast<Money>(billed_nodes_) *
+                   options_.node_cost_per_hour * (now - cost_marker_time_) /
+                   3600.0;
+  cost_marker_time_ = now;
+  billed_nodes_ = config.node_count();
+
+  // Remap queue backlogs: new node j inherits the backlog of the old node
+  // matched to it by the plan (a transitioned machine keeps its pending
+  // work); fresh nodes start idle.
+  std::vector<SimTime> new_busy(config.node_count(), now);
+  if (plan != nullptr) {
+    for (const NodeTransition& move : plan->moves) {
+      if (move.new_node == kInvalidNode) continue;
+      SimTime base = now;
+      if (move.old_node != kInvalidNode &&
+          move.old_node < busy_until_.size()) {
+        base = std::max(base, busy_until_[move.old_node]);
+      }
+      // The receiving node must ingest its missing tuples before serving
+      // new reads.
+      const SimTime transfer_s = static_cast<double>(move.transfer_tuples) /
+                                 options_.transfer_tuples_per_second;
+      new_busy[move.new_node] = base + transfer_s;
+      transferred_tuples_ += move.transfer_tuples;
+    }
+  }
+  busy_until_ = std::move(new_busy);
+}
+
+SimTime ClusterSim::WaitSeconds(NodeId node, SimTime now) const {
+  NASHDB_DCHECK(node < busy_until_.size());
+  return std::max<SimTime>(0.0, busy_until_[node] - now);
+}
+
+SimTime ClusterSim::EnqueueRead(NodeId node, TupleCount tuples, SimTime now,
+                                bool first_use_by_query) {
+  NASHDB_CHECK_LT(node, busy_until_.size());
+  SimTime start = std::max(busy_until_[node], now);
+  if (first_use_by_query) start += options_.span_overhead_s;
+  const SimTime done = start + ReadSeconds(tuples);
+  busy_until_[node] = done;
+  read_tuples_ += tuples;
+  return done;
+}
+
+Money ClusterSim::AccruedCost(SimTime now) const {
+  return accrued_cost_ + static_cast<Money>(billed_nodes_) *
+                             options_.node_cost_per_hour *
+                             (now - cost_marker_time_) / 3600.0;
+}
+
+}  // namespace nashdb

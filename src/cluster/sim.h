@@ -1,0 +1,87 @@
+#ifndef NASHDB_CLUSTER_SIM_H_
+#define NASHDB_CLUSTER_SIM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "replication/cluster_config.h"
+#include "transition/planner.h"
+
+namespace nashdb {
+
+/// Physical model of the simulated cluster. This substitutes for the
+/// paper's EC2 + PostgreSQL testbed: nodes are shared-nothing machines
+/// whose disk serves queued fragment reads FIFO at `tuples_per_second`;
+/// every query pays a one-time `span_overhead_s` on each node it touches
+/// (the paper measured this φ as ~350 ms on AWS); transitions stream
+/// tuples at `transfer_tuples_per_second` through the receiving node's
+/// queue; each provisioned node accrues rent continuously.
+struct ClusterSimOptions {
+  double tuples_per_second = 2.0e6;
+  double transfer_tuples_per_second = 10.0e6;
+  double span_overhead_s = 0.35;
+  /// Rent per node per hour, in cents.
+  Money node_cost_per_hour = 10.0;
+};
+
+/// Discrete "virtual time" simulator for an elastic cluster executing
+/// fragment reads. Queries are admitted in arrival order; each node is a
+/// FIFO resource whose backlog is tracked as the time at which it next
+/// falls idle. The wait time W(m) exposed to routers is exactly the
+/// paper's §8 queue model (pending work, measured in seconds of disk
+/// time).
+class ClusterSim {
+ public:
+  explicit ClusterSim(const ClusterSimOptions& options);
+
+  const ClusterSimOptions& options() const { return options_; }
+
+  /// Replaces the active configuration at simulated time `now`.
+  /// If `plan` is non-null, each receiving node's queue is charged the
+  /// transfer time for the tuples copied onto it, and transfer volume is
+  /// added to the running transfer counter. Rent accrual switches to the
+  /// new node count from `now` onward.
+  void ApplyConfig(const ClusterConfig& config, SimTime now,
+                   const TransitionPlan* plan);
+
+  std::size_t node_count() const { return busy_until_.size(); }
+
+  /// Seconds of queued work remaining on `node` at time `now` (>= 0).
+  SimTime WaitSeconds(NodeId node, SimTime now) const;
+
+  /// Seconds needed to read `tuples` from disk.
+  SimTime ReadSeconds(TupleCount tuples) const {
+    return static_cast<double>(tuples) / options_.tuples_per_second;
+  }
+
+  /// Enqueues a fragment read of `tuples` on `node` for a query arriving
+  /// at `now`; if `first_use_by_query`, the span overhead is charged
+  /// first. Returns the completion time.
+  SimTime EnqueueRead(NodeId node, TupleCount tuples, SimTime now,
+                      bool first_use_by_query);
+
+  /// Total rent accrued through `now` (cents).
+  Money AccruedCost(SimTime now) const;
+
+  /// Total tuples moved by transitions so far.
+  TupleCount TotalTransferredTuples() const { return transferred_tuples_; }
+
+  /// Total tuples served to queries so far.
+  TupleCount TotalReadTuples() const { return read_tuples_; }
+
+ private:
+  ClusterSimOptions options_;
+  std::vector<SimTime> busy_until_;
+  // Rent accounting: cost accrued up to `cost_marker_time_` plus
+  // node_count * rate afterwards.
+  Money accrued_cost_ = 0.0;
+  SimTime cost_marker_time_ = 0.0;
+  std::size_t billed_nodes_ = 0;
+  TupleCount transferred_tuples_ = 0;
+  TupleCount read_tuples_ = 0;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_CLUSTER_SIM_H_

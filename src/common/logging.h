@@ -1,0 +1,69 @@
+#ifndef NASHDB_COMMON_LOGGING_H_
+#define NASHDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace nashdb {
+namespace internal_logging {
+
+/// Terminates the process after printing `msg`, annotated with the source
+/// location of the failed check. Used by the CHECK macros below; never call
+/// directly.
+[[noreturn]] inline void FailCheck(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "[nashdb] CHECK failed at %s:%d: %s %s\n", file, line,
+               expr, msg.c_str());
+  std::abort();
+}
+
+/// Stream-collecting helper so CHECK macros can accept `<< "context"`.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessage() { FailCheck(file_, line_, expr_, out_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal_logging
+}  // namespace nashdb
+
+/// Always-on invariant check. Use for conditions whose violation means the
+/// library has a bug and cannot continue (Google style: crash on programmer
+/// error, Status for runtime error).
+#define NASHDB_CHECK(cond)                                             \
+  while (!(cond))                                                      \
+  ::nashdb::internal_logging::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define NASHDB_CHECK_OP(a, op, b) NASHDB_CHECK((a)op(b))
+#define NASHDB_CHECK_EQ(a, b) NASHDB_CHECK_OP(a, ==, b)
+#define NASHDB_CHECK_NE(a, b) NASHDB_CHECK_OP(a, !=, b)
+#define NASHDB_CHECK_LT(a, b) NASHDB_CHECK_OP(a, <, b)
+#define NASHDB_CHECK_LE(a, b) NASHDB_CHECK_OP(a, <=, b)
+#define NASHDB_CHECK_GT(a, b) NASHDB_CHECK_OP(a, >, b)
+#define NASHDB_CHECK_GE(a, b) NASHDB_CHECK_OP(a, >=, b)
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define NASHDB_DCHECK(cond) \
+  while (false) ::nashdb::internal_logging::CheckMessage(__FILE__, __LINE__, #cond)
+#else
+#define NASHDB_DCHECK(cond) NASHDB_CHECK(cond)
+#endif
+
+#endif  // NASHDB_COMMON_LOGGING_H_

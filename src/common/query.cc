@@ -1,0 +1,32 @@
+#include "common/query.h"
+
+namespace nashdb {
+
+Query MakeQuery(QueryId id, Money price,
+                const std::vector<std::pair<TableId, TupleRange>>& ranges) {
+  Query q;
+  q.id = id;
+  q.price = price;
+
+  TupleCount total = 0;
+  for (const auto& [table, range] : ranges) {
+    (void)table;
+    total += range.size();
+  }
+
+  q.scans.reserve(ranges.size());
+  for (const auto& [table, range] : ranges) {
+    if (range.empty()) continue;
+    Scan s;
+    s.table = table;
+    s.range = range;
+    s.price = total == 0
+                  ? 0.0
+                  : price * static_cast<Money>(range.size()) /
+                        static_cast<Money>(total);
+    q.scans.push_back(s);
+  }
+  return q;
+}
+
+}  // namespace nashdb

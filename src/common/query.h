@@ -1,0 +1,54 @@
+#ifndef NASHDB_COMMON_QUERY_H_
+#define NASHDB_COMMON_QUERY_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace nashdb {
+
+/// A range scan issued by a query plan: a contiguous block of tuples
+/// [range.start, range.end) read from `table`, carrying the share of the
+/// query's price assigned to it by Eq. 1 of the paper.
+struct Scan {
+  TableId table = 0;
+  TupleRange range;
+  /// Price(s_i): this scan's share of the owning query's price.
+  Money price = 0.0;
+
+  TupleCount size() const { return range.size(); }
+
+  /// Per-tuple income of the scan: Price(s) / Size(s). This is the quantity
+  /// stored in the value estimation tree.
+  Money NormalizedPrice() const {
+    NASHDB_DCHECK(!range.empty());
+    return price / static_cast<Money>(range.size());
+  }
+};
+
+/// A query: a priced set of range scans. The priority of a query is the
+/// price the user is willing to pay for it (paper §2); higher-priced queries
+/// receive proportionally more replicas and thus better performance.
+struct Query {
+  QueryId id = 0;
+  Money price = 0.0;
+  std::vector<Scan> scans;
+
+  /// Total tuples read across all scans of this query.
+  TupleCount TotalTuples() const {
+    TupleCount n = 0;
+    for (const Scan& s : scans) n += s.size();
+    return n;
+  }
+};
+
+/// Distributes `price` over `ranges` proportionally to their sizes (Eq. 1:
+/// Price(s_i) = Size(s_i) / sum_j Size(s_j) * Price(q)) and returns the
+/// assembled query.
+Query MakeQuery(QueryId id, Money price,
+                const std::vector<std::pair<TableId, TupleRange>>& ranges);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_COMMON_QUERY_H_

@@ -1,0 +1,109 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace nashdb {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Uniform(std::uint64_t n) {
+  NASHDB_DCHECK(n > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::Geometric(double p, std::uint64_t cap) {
+  NASHDB_DCHECK(p > 0.0 && p <= 1.0);
+  std::uint64_t k = 0;
+  while (k < cap && !Bernoulli(p)) ++k;
+  return k;
+}
+
+double Rng::Gaussian() {
+  // Marsaglia polar method; discards the second deviate for simplicity.
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::uint64_t Rng::Zipf(std::uint64_t n, double s) {
+  NASHDB_DCHECK(n > 0);
+  NASHDB_DCHECK(s > 0.0);
+  // Devroye's rejection method for the Zipf distribution; O(1) expected
+  // time, no per-n precomputation, so it scales to billion-tuple tables.
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    // Integral of x^-s: handles s == 1 separately.
+    if (std::abs(s - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double y) {
+    if (std::abs(s - 1.0) < 1e-12) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;  // h at x = 1/2 minus f(1)=1
+  const double hn = h(nd + 0.5);
+  for (;;) {
+    const double u = hx0 + NextDouble() * (hn - hx0);
+    const double x = h_inv(u);
+    const std::uint64_t k =
+        static_cast<std::uint64_t>(std::floor(x + 0.5));
+    if (k < 1 || k > n) continue;
+    const double kd = static_cast<double>(k);
+    // Accept k with probability f(k) / envelope.
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) {
+      return k - 1;  // return 0-based rank
+    }
+  }
+}
+
+}  // namespace nashdb

@@ -1,0 +1,71 @@
+#ifndef NASHDB_COMMON_RANDOM_H_
+#define NASHDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+/// Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+/// Every stochastic component in NashDB takes an explicit seed so that all
+/// experiments are exactly reproducible; std::mt19937 is avoided because its
+/// distributions are not portable across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator. The four xoshiro lanes are filled by iterating
+  /// SplitMix64 over `seed`, the construction recommended by the xoshiro
+  /// authors.
+  void Seed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform in [0, n). Requires n > 0. Uses Lemire's multiply-shift
+  /// rejection method to avoid modulo bias.
+  std::uint64_t Uniform(std::uint64_t n);
+
+  /// Uniform in [lo, hi). Requires lo < hi.
+  std::uint64_t UniformRange(std::uint64_t lo, std::uint64_t hi) {
+    NASHDB_DCHECK(lo < hi);
+    return lo + Uniform(hi - lo);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Geometric-style draw: returns the smallest k >= 0 such that k
+  /// consecutive Bernoulli(p) failures occurred, capped at `cap`.
+  /// Used by the Bernoulli workload's "95% hit the last GB" pattern.
+  std::uint64_t Geometric(double p, std::uint64_t cap);
+
+  /// Standard normal via Marsaglia polar method.
+  double Gaussian();
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s > 0). Uses the
+  /// classic inverse-CDF over precomputed harmonic weights when n is small;
+  /// for large n uses rejection sampling (Devroye).
+  std::uint64_t Zipf(std::uint64_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_COMMON_RANDOM_H_

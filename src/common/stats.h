@@ -1,0 +1,64 @@
+#ifndef NASHDB_COMMON_STATS_H_
+#define NASHDB_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace nashdb {
+
+/// Online mean/variance accumulator (Welford's algorithm, [44] in the
+/// paper). Numerically stable for long benchmark runs.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Unnormalized variance: n * variance = sum of squared deviations.
+  /// This is exactly the paper's fragment "error" metric (Eq. 4).
+  double unnormalized_variance() const { return m2_; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers percentile queries. Used for the paper's
+/// tail-latency experiment (Figure 10: 95th / 99th percentiles).
+class PercentileTracker {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+
+  /// Returns the p-th percentile (p in [0, 100]) using linear interpolation
+  /// between closest ranks. Returns 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Exact one-pass sum of squared deviations from the mean for a sample
+/// vector. Reference implementation used by tests to validate the O(1)
+/// prefix-sum error formula (paper Eq. 4 vs Eq. 6).
+double SumSquaredDeviations(const std::vector<double>& xs);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_COMMON_STATS_H_

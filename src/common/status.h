@@ -1,0 +1,118 @@
+#ifndef NASHDB_COMMON_STATUS_H_
+#define NASHDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+/// Error categories for fallible library operations. Library code does not
+/// throw exceptions (Google style); it returns Status / Result<T> instead,
+/// following the RocksDB/Arrow idiom.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// The result of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: window must be > 0".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common, successful path).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    NASHDB_CHECK(!std::get<Status>(v_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Returns the contained value; CHECK-fails if this holds an error.
+  const T& value() const& {
+    NASHDB_CHECK(ok()) << status().ToString();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    NASHDB_CHECK(ok()) << status().ToString();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    NASHDB_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define NASHDB_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::nashdb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+}  // namespace nashdb
+
+#endif  // NASHDB_COMMON_STATUS_H_

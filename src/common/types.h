@@ -1,0 +1,73 @@
+#ifndef NASHDB_COMMON_TYPES_H_
+#define NASHDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace nashdb {
+
+/// Index of a tuple within the clustered (physical) ordering of a table.
+/// All ranges in NashDB are half-open: a scan or fragment covering
+/// [start, end) touches the tuples start, start+1, ..., end-1, matching the
+/// paper's convention that Start() is inclusive and End() is exclusive.
+using TupleIndex = std::uint64_t;
+
+/// A count of tuples (the Size() of a scan or fragment).
+using TupleCount = std::uint64_t;
+
+/// Monetary amounts. The paper reports prices in 1/100ths of a cent; we
+/// store money as a double-precision number of cents, so 1/100 cent = 0.01.
+using Money = double;
+
+/// Identifier of a table within a database schema.
+using TableId = std::uint32_t;
+
+/// Identifier of a fragment within a fragmentation scheme.
+using FragmentId = std::uint32_t;
+
+/// Identifier of a cluster node.
+using NodeId = std::uint32_t;
+
+/// Identifier of a query.
+using QueryId = std::uint64_t;
+
+/// Simulated time, in seconds.
+using SimTime = double;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no fragment".
+inline constexpr FragmentId kInvalidFragment =
+    std::numeric_limits<FragmentId>::max();
+
+/// A half-open range of tuple indices [start, end).
+struct TupleRange {
+  TupleIndex start = 0;
+  TupleIndex end = 0;
+
+  TupleCount size() const { return end - start; }
+  bool empty() const { return end <= start; }
+
+  /// True if `x` lies inside this range.
+  bool Contains(TupleIndex x) const { return x >= start && x < end; }
+
+  /// True if the two ranges share at least one tuple.
+  bool Overlaps(const TupleRange& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  /// The intersection of two ranges (empty range if disjoint).
+  TupleRange Intersect(const TupleRange& other) const {
+    TupleIndex s = start > other.start ? start : other.start;
+    TupleIndex e = end < other.end ? end : other.end;
+    if (e < s) e = s;
+    return TupleRange{s, e};
+  }
+
+  friend bool operator==(const TupleRange&, const TupleRange&) = default;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_COMMON_TYPES_H_

@@ -1,0 +1,51 @@
+#include "engine/config_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+ConfigIndex::ConfigIndex(const ClusterConfig& config) : config_(&config) {
+  for (FlatFragmentId fid = 0; fid < config.fragments().size(); ++fid) {
+    by_table_[config.fragment(fid).table].push_back(fid);
+  }
+  for (auto& [table, fids] : by_table_) {
+    (void)table;
+    std::sort(fids.begin(), fids.end(),
+              [&](FlatFragmentId a, FlatFragmentId b) {
+                return config.fragment(a).range.start <
+                       config.fragment(b).range.start;
+              });
+  }
+}
+
+std::vector<FragmentRequest> ConfigIndex::RequestsFor(const Scan& scan) const {
+  std::vector<FragmentRequest> requests;
+  if (scan.range.empty()) return requests;
+  auto it = by_table_.find(scan.table);
+  NASHDB_CHECK(it != by_table_.end())
+      << "scan over unknown table " << scan.table;
+  const std::vector<FlatFragmentId>& fids = it->second;
+
+  // First fragment whose end is beyond the scan start.
+  auto lo = std::lower_bound(
+      fids.begin(), fids.end(), scan.range.start,
+      [&](FlatFragmentId fid, TupleIndex v) {
+        return config_->fragment(fid).range.end <= v;
+      });
+  for (auto f = lo; f != fids.end(); ++f) {
+    const FragmentInfo& info = config_->fragment(*f);
+    if (info.range.start >= scan.range.end) break;
+    FragmentRequest req;
+    req.frag = *f;
+    req.tuples = info.size();  // block granularity: full fragment read
+    req.candidates = config_->FragmentNodes(*f);
+    NASHDB_CHECK(!req.candidates.empty())
+        << "fragment " << *f << " has no replicas";
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+}  // namespace nashdb

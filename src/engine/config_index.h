@@ -1,0 +1,37 @@
+#ifndef NASHDB_ENGINE_CONFIG_INDEX_H_
+#define NASHDB_ENGINE_CONFIG_INDEX_H_
+
+#include <map>
+#include <vector>
+
+#include "common/query.h"
+#include "replication/cluster_config.h"
+#include "routing/router.h"
+
+namespace nashdb {
+
+/// Lookup structure over one ClusterConfig: maps a range scan to the
+/// fragment read requests it induces (the scan router's F(s) with
+/// candidate nodes E(s) — §8). Built once per configuration; scans then
+/// resolve in O(log F + |F(s)|).
+class ConfigIndex {
+ public:
+  explicit ConfigIndex(const ClusterConfig& config);
+
+  /// The fragment requests needed to serve `scan`: every fragment of the
+  /// scan's table overlapping its range, each carrying the fragment's full
+  /// tuple count (a fragment is the minimum read granularity, like a disk
+  /// block — §5.1) and the nodes holding a replica.
+  std::vector<FragmentRequest> RequestsFor(const Scan& scan) const;
+
+  const ClusterConfig& config() const { return *config_; }
+
+ private:
+  const ClusterConfig* config_;
+  // Per table: flat fragment ids sorted by range start.
+  std::map<TableId, std::vector<FlatFragmentId>> by_table_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_ENGINE_CONFIG_INDEX_H_

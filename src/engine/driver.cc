@@ -1,0 +1,166 @@
+#include "engine/driver.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "engine/config_index.h"
+#include "transition/planner.h"
+
+namespace nashdb {
+
+double RunResult::MeanLatency() const {
+  if (records.empty()) return 0.0;
+  double sum = 0.0;
+  for (const QueryRecord& r : records) sum += r.latency_s;
+  return sum / static_cast<double>(records.size());
+}
+
+double RunResult::TailLatency(double percentile) const {
+  PercentileTracker tracker;
+  for (const QueryRecord& r : records) tracker.Add(r.latency_s);
+  return tracker.Percentile(percentile);
+}
+
+double RunResult::MeanSpan() const {
+  if (records.empty()) return 0.0;
+  double sum = 0.0;
+  for (const QueryRecord& r : records) {
+    sum += static_cast<double>(r.span);
+  }
+  return sum / static_cast<double>(records.size());
+}
+
+std::vector<std::pair<double, double>> RunResult::ThroughputPerMinute()
+    const {
+  std::vector<std::pair<double, double>> series;
+  if (records.empty()) return series;
+  const std::size_t minutes =
+      static_cast<std::size_t>(makespan_s / 60.0) + 1;
+  std::vector<double> bins(minutes, 0.0);
+  for (const QueryRecord& r : records) {
+    const std::size_t m = std::min(
+        minutes - 1, static_cast<std::size_t>(r.completion / 60.0));
+    bins[m] += static_cast<double>(r.tuples_read);
+  }
+  series.reserve(minutes);
+  for (std::size_t m = 0; m < minutes; ++m) {
+    series.emplace_back(static_cast<double>(m), bins[m]);
+  }
+  return series;
+}
+
+RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
+                      ScanRouter* router, const DriverOptions& options) {
+  NASHDB_CHECK(system != nullptr);
+  NASHDB_CHECK(router != nullptr);
+
+  RunResult result;
+  ClusterSim sim(options.sim);
+
+  if (options.warmup_observe) {
+    for (const TimedQuery& tq : workload.queries) {
+      system->Observe(tq.query);
+    }
+  } else if (options.prewarm_scans > 0) {
+    std::size_t fed = 0;
+    for (const TimedQuery& tq : workload.queries) {
+      if (fed >= options.prewarm_scans) break;
+      system->Observe(tq.query);
+      fed += tq.query.scans.size();
+    }
+  }
+
+  // Initial provisioning: build the first configuration and pay for the
+  // initial data load (every replica is a fresh copy).
+  ClusterConfig config = system->BuildConfig();
+  {
+    ClusterConfig empty;
+    const TransitionPlan bootstrap = PlanTransition(empty, config);
+    sim.ApplyConfig(config, 0.0, &bootstrap);
+    ++result.transitions;
+    result.bootstrap_transfer_tuples = sim.TotalTransferredTuples();
+  }
+  ConfigIndex index(config);
+
+  const SimTime check_interval = options.adaptive_reconfigure
+                                     ? options.adaptive_check_interval_s
+                                     : options.reconfigure_interval_s;
+  SimTime next_reconfigure = check_interval;
+  const double spt = 1.0 / options.sim.tuples_per_second;
+
+  for (const TimedQuery& tq : workload.queries) {
+    const SimTime now = tq.arrival;
+
+    // Periodic (or adaptive, §7-extension) reconfiguration + transition.
+    while (options.periodic_reconfigure && now >= next_reconfigure) {
+      ClusterConfig next = system->BuildConfig();
+      const TransitionPlan plan = PlanTransition(config, next);
+      bool apply = true;
+      if (options.adaptive_reconfigure) {
+        const double stored =
+            static_cast<double>(config.TotalStoredTuples());
+        const double change =
+            stored <= 0.0 ? 1.0
+                          : static_cast<double>(plan.total_transfer_tuples) /
+                                stored;
+        apply = change >= options.adaptive_min_change ||
+                next.node_count() != config.node_count();
+      }
+      if (apply) {
+        sim.ApplyConfig(next, next_reconfigure, &plan);
+        config = std::move(next);
+        index = ConfigIndex(config);
+        ++result.transitions;
+      } else {
+        ++result.transitions_skipped;
+      }
+      next_reconfigure += check_interval;
+    }
+
+    if (!options.warmup_observe) system->Observe(tq.query);
+
+    QueryRecord record;
+    record.id = tq.query.id;
+    record.price = tq.query.price;
+    record.arrival = now;
+
+    std::set<NodeId> nodes_used;
+    SimTime completion = now;
+    for (const Scan& scan : tq.query.scans) {
+      const std::vector<FragmentRequest> requests = index.RequestsFor(scan);
+      if (requests.empty()) continue;
+
+      std::vector<double> waits(config.node_count(), 0.0);
+      for (NodeId m = 0; m < config.node_count(); ++m) {
+        waits[m] = sim.WaitSeconds(m, now);
+      }
+      const std::vector<RoutedRead> routed =
+          router->Route(requests, std::move(waits), spt, options.phi_s);
+      NASHDB_CHECK_EQ(routed.size(), requests.size());
+
+      for (const RoutedRead& rr : routed) {
+        const bool first_use = nodes_used.insert(rr.node).second;
+        const TupleCount tuples = requests[rr.request_index].tuples;
+        const SimTime done = sim.EnqueueRead(rr.node, tuples, now, first_use);
+        completion = std::max(completion, done);
+        record.tuples_read += tuples;
+      }
+    }
+
+    record.completion = completion;
+    record.latency_s = completion - now;
+    record.span = nodes_used.size();
+    result.makespan_s = std::max(result.makespan_s, completion);
+    result.records.push_back(record);
+  }
+
+  result.total_cost = sim.AccruedCost(result.makespan_s);
+  result.transferred_tuples = sim.TotalTransferredTuples();
+  result.read_tuples = sim.TotalReadTuples();
+  result.final_nodes = config.node_count();
+  return result;
+}
+
+}  // namespace nashdb

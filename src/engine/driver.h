@@ -1,0 +1,97 @@
+#ifndef NASHDB_ENGINE_DRIVER_H_
+#define NASHDB_ENGINE_DRIVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/sim.h"
+#include "engine/system.h"
+#include "routing/router.h"
+#include "workload/workload.h"
+
+namespace nashdb {
+
+/// Knobs of one simulated end-to-end run.
+struct DriverOptions {
+  ClusterSimOptions sim;
+  /// Interval between reconfiguration + cluster transition rounds (paper
+  /// §10 "System Parameters": hourly). Ignored for batch workloads when
+  /// warmup_observe is set (one configuration is built up front).
+  SimTime reconfigure_interval_s = 3600.0;
+  /// φ passed to the scan router (seconds).
+  double phi_s = 0.35;
+  /// For static/batch workloads: feed the whole workload through
+  /// Observe() once before building the initial configuration (the
+  /// paper's static experiments measure a scheme computed after the whole
+  /// workload has been seen).
+  bool warmup_observe = false;
+  /// Keep reconfiguring during the run (dynamic experiments). If false,
+  /// the initial configuration is used throughout.
+  bool periodic_reconfigure = true;
+
+  /// Feed the scans of the earliest-arriving queries into the system
+  /// before building the bootstrap configuration, until this many scans
+  /// have been observed (0 = cold start). Dynamic experiments measure the
+  /// steady state; without warm-up the initial cold configuration's queue
+  /// backlog dominates every later percentile.
+  std::size_t prewarm_scans = 0;
+
+  /// Adaptive transition detection (an extension; the paper leaves
+  /// "automatically detecting when the cluster should be transitioned" to
+  /// future work, §7). When enabled, candidate configurations are
+  /// evaluated every adaptive_check_interval_s and the cluster only
+  /// transitions when the minimal-transfer plan would move at least
+  /// adaptive_min_change of the currently stored data or change the node
+  /// count — reacting to shifts within minutes while staying quiet in
+  /// steady state. Overrides reconfigure_interval_s.
+  bool adaptive_reconfigure = false;
+  SimTime adaptive_check_interval_s = 600.0;
+  double adaptive_min_change = 0.02;
+};
+
+/// Per-query outcome of a run.
+struct QueryRecord {
+  QueryId id = 0;
+  Money price = 0.0;
+  SimTime arrival = 0.0;
+  SimTime completion = 0.0;
+  double latency_s = 0.0;
+  std::size_t span = 0;          // distinct nodes used
+  TupleCount tuples_read = 0;    // actual tuples read (block granularity)
+};
+
+/// Aggregated outcome of one run.
+struct RunResult {
+  std::vector<QueryRecord> records;
+  Money total_cost = 0.0;               // cents of rent accrued
+  TupleCount transferred_tuples = 0;    // transition data movement
+  /// Portion of transferred_tuples spent loading the initial
+  /// configuration (the paper's Figure 9b excludes this bootstrap copy).
+  TupleCount bootstrap_transfer_tuples = 0;
+  TupleCount read_tuples = 0;
+  std::size_t transitions = 0;
+  /// Adaptive mode only: reconfiguration checks that decided not to
+  /// transition.
+  std::size_t transitions_skipped = 0;
+  SimTime makespan_s = 0.0;
+  std::size_t final_nodes = 0;
+
+  double MeanLatency() const;
+  double TailLatency(double percentile) const;
+  double MeanSpan() const;
+
+  /// Tuples read per minute-bucket of completion time (the paper's Fig. 11
+  /// throughput series), as (minute, tuples).
+  std::vector<std::pair<double, double>> ThroughputPerMinute() const;
+};
+
+/// Executes `workload` against `system`, routing scans with `router` on a
+/// simulated cluster. Queries are admitted in arrival order; the system is
+/// rebuilt and the cluster transitioned (minimal-transfer matching, §7)
+/// every reconfigure_interval_s of simulated time.
+RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
+                      ScanRouter* router, const DriverOptions& options);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_ENGINE_DRIVER_H_

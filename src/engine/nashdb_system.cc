@@ -1,0 +1,173 @@
+#include "engine/nashdb_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+#include "replication/incremental.h"
+#include "replication/packer.h"
+
+namespace nashdb {
+namespace {
+
+std::unique_ptr<Fragmenter> MakeGreedy() {
+  return std::make_unique<GreedyFragmenter>();
+}
+
+}  // namespace
+
+NashDbSystem::NashDbSystem(Dataset dataset, const NashDbOptions& options)
+    : NashDbSystem(std::move(dataset), options, &MakeGreedy) {}
+
+NashDbSystem::NashDbSystem(Dataset dataset, const NashDbOptions& options,
+                           std::unique_ptr<Fragmenter> (*fragmenter_factory)())
+    : dataset_(std::move(dataset)),
+      options_(options),
+      fragmenter_factory_(fragmenter_factory),
+      estimator_(std::make_unique<TupleValueEstimator>(options.window_scans)) {
+  NASHDB_CHECK_GT(options_.block_tuples, 0u);
+  NASHDB_CHECK_GT(options_.node_disk, 0u);
+  for (const TableSpec& t : dataset_.tables) {
+    NASHDB_CHECK_LE(std::min<TupleCount>(t.tuples, options_.block_tuples),
+                    options_.node_disk)
+        << "a block-sized fragment must fit one node";
+  }
+}
+
+void NashDbSystem::Observe(const Query& query) {
+  estimator_->AddQuery(query);
+}
+
+std::size_t NashDbSystem::MaxFragsFor(TupleCount table_size) const {
+  std::size_t max_frags = static_cast<std::size_t>(
+      (table_size + options_.block_tuples - 1) / options_.block_tuples);
+  if (max_frags == 0) max_frags = 1;
+  if (options_.max_frags_cap > 0) {
+    max_frags = std::min(max_frags, options_.max_frags_cap);
+  }
+  return max_frags;
+}
+
+ClusterConfig NashDbSystem::BuildConfig() {
+  ReplicationParams params;
+  params.node_cost = options_.node_cost;
+  params.node_disk = options_.node_disk;
+  params.window_scans = estimator_->window_scans();
+  params.min_replicas = options_.min_replicas;
+  params.max_replicas = options_.max_replicas;
+
+  std::vector<FragmentInfo> fragments;
+  std::vector<Scan> table_scans;
+  for (const TableSpec& table : dataset_.tables) {
+    if (table.tuples == 0) continue;
+    const ValueProfile profile =
+        estimator_->Profile(table.id, table.tuples);
+
+    table_scans.clear();
+    for (const Scan& s : estimator_->window()) {
+      if (s.table == table.id) table_scans.push_back(s);
+    }
+
+    FragmentationContext ctx;
+    ctx.table = table.id;
+    ctx.profile = &profile;
+    ctx.window_scans = table_scans;
+
+    auto& fragmenter = fragmenters_[table.id];
+    if (!fragmenter) fragmenter = fragmenter_factory_();
+
+    const FragmentationScheme scheme =
+        fragmenter->Refragment(ctx, MaxFragsFor(table.tuples));
+    NASHDB_CHECK(scheme.Valid());
+
+    // A fragment must fit on one node; the fragmenter optimizes error, not
+    // placement, so carve any over-disk fragment into disk-sized pieces
+    // (error-neutral when the oversized fragment was low-variance anyway).
+    FragmentId next_index = 0;
+    for (const TupleRange& range : scheme.fragments) {
+      TupleIndex start = range.start;
+      while (start < range.end) {
+        const TupleIndex end =
+            std::min<TupleIndex>(range.end, start + options_.node_disk);
+        FragmentInfo info;
+        info.table = table.id;
+        info.index_in_table = next_index++;
+        info.range = TupleRange{start, end};
+        info.value = profile.TotalValue(info.range);
+        fragments.push_back(info);
+        start = end;
+      }
+    }
+  }
+
+  DecideReplication(params, &fragments);
+
+  // Replica-count hysteresis: keep (approximately) the previous count
+  // when the fresh Eq. 9 ideal only flutters around it — sampling noise
+  // in the scan window would otherwise turn into fragment copies at every
+  // transition. Fragment boundaries shift between reconfigurations, so
+  // the previous count of a new fragment is estimated as the
+  // overlap-weighted average of the previous fragments covering its
+  // range.
+  if (options_.replica_hysteresis > 0 && last_config_ != nullptr) {
+    std::map<TableId, std::vector<const FragmentInfo*>> prev_by_table;
+    for (const FragmentInfo& f : last_config_->fragments()) {
+      prev_by_table[f.table].push_back(&f);
+    }
+    for (auto& [table, frags] : prev_by_table) {
+      (void)table;
+      std::sort(frags.begin(), frags.end(),
+                [](const FragmentInfo* a, const FragmentInfo* b) {
+                  return a->range.start < b->range.start;
+                });
+    }
+    for (FragmentInfo& f : fragments) {
+      auto it = prev_by_table.find(f.table);
+      if (it == prev_by_table.end()) continue;
+      double weighted = 0.0;
+      TupleCount covered = 0;
+      for (const FragmentInfo* p : it->second) {
+        if (p->range.start >= f.range.end) break;
+        const TupleCount overlap = p->range.Intersect(f.range).size();
+        if (overlap == 0) continue;
+        weighted +=
+            static_cast<double>(p->replicas) * static_cast<double>(overlap);
+        covered += overlap;
+      }
+      if (covered == 0) continue;
+      const double prev = weighted / static_cast<double>(covered);
+      const double diff = std::abs(static_cast<double>(f.replicas) - prev);
+      const double band =
+          std::max(static_cast<double>(options_.replica_hysteresis),
+                   options_.replica_hysteresis_frac * prev);
+      if (diff > 0.0 && diff <= band) {
+        std::size_t kept = static_cast<std::size_t>(prev + 0.5);
+        kept = std::max(kept, params.min_replicas);
+        if (params.max_replicas > 0) {
+          kept = std::min(kept, params.max_replicas);
+        }
+        f.replicas = kept;
+      }
+    }
+  }
+
+  Result<ClusterConfig> packed =
+      options_.incremental_placement
+          ? RepackIncremental(params, std::move(fragments),
+                              last_config_.get())
+          : PackReplicasBffd(params, std::move(fragments));
+  NASHDB_CHECK(packed.ok()) << packed.status().ToString();
+  last_config_ = std::make_unique<ClusterConfig>(*packed);
+  return std::move(packed).value();
+}
+
+void NashDbSystem::Reset() {
+  estimator_ =
+      std::make_unique<TupleValueEstimator>(options_.window_scans);
+  fragmenters_.clear();
+  last_config_.reset();
+}
+
+}  // namespace nashdb

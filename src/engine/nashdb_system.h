@@ -1,0 +1,93 @@
+#ifndef NASHDB_ENGINE_NASHDB_SYSTEM_H_
+#define NASHDB_ENGINE_NASHDB_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/system.h"
+#include "fragment/fragmenter.h"
+#include "replication/replication.h"
+#include "value/estimator.h"
+#include "workload/workload.h"
+
+namespace nashdb {
+
+/// Configuration of the end-to-end NashDB controller.
+struct NashDbOptions {
+  /// |W|: scan window size (paper default in §10: 50 scans).
+  std::size_t window_scans = 50;
+  /// Average fragment size target, in tuples ("disk block" of §5.1);
+  /// maxFrags(table) = ceil(table_size / block_tuples).
+  TupleCount block_tuples = 50'000;
+  /// Hard cap on fragments per table (0 = none). Protects the optimal
+  /// DP's O(k m^2) cost when it is plugged in as the fragmenter.
+  std::size_t max_frags_cap = 0;
+  /// Node economics (node_cost is rent per reconfiguration period).
+  Money node_cost = 10.0;
+  TupleCount node_disk = 2'000'000;
+  /// Every fragment keeps at least this many replicas regardless of
+  /// profitability, so unscanned data stays available.
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 0;
+  /// Replica-count hysteresis: when a fragment's fresh Eq. 9 ideal
+  /// differs from its previous count by at most this many replicas, the
+  /// previous count is kept. The window's sampling noise makes the ideal
+  /// flutter by ±1 between reconfigurations, and each flutter is a
+  /// fragment-sized copy at transition time; the marginal profit lost by
+  /// lagging one replica behind is bounded by one replica's margin, which
+  /// the saved transfer dwarfs. 0 disables.
+  std::size_t replica_hysteresis = 1;
+  /// Relative hysteresis: the previous count is also kept when the fresh
+  /// ideal is within this fraction of it (sampling jitter grows with the
+  /// replica level, so an absolute band alone cannot damp hot fragments).
+  double replica_hysteresis_frac = 0.3;
+  /// Place replicas incrementally against the previous configuration
+  /// (replication/incremental.h), which keeps per-period transition
+  /// transfers small, as the paper reports (§10.3). Disable to rebuild a
+  /// fresh BFFD packing every period.
+  bool incremental_placement = true;
+};
+
+/// The NashDB engine (Figure 1): tuple value estimator -> fragmentation
+/// manager -> replication manager. Observe() feeds the estimator;
+/// BuildConfig() runs the full §4-§6 pipeline and emits a cluster
+/// configuration in Nash equilibrium (up to the min_replicas availability
+/// floor).
+class NashDbSystem : public DistributionSystem {
+ public:
+  /// `dataset` declares every table (fragmenting needs sizes even for
+  /// tables with no windowed scans). The fragmenter defaults to the greedy
+  /// split/merge algorithm (§5.3); pass a factory to substitute another
+  /// (e.g. OptimalFragmenter for small databases).
+  NashDbSystem(Dataset dataset, const NashDbOptions& options);
+  NashDbSystem(Dataset dataset, const NashDbOptions& options,
+               std::unique_ptr<Fragmenter> (*fragmenter_factory)());
+
+  std::string_view name() const override { return "NashDB"; }
+  void Observe(const Query& query) override;
+  ClusterConfig BuildConfig() override;
+  void Reset() override;
+
+  const TupleValueEstimator& estimator() const { return *estimator_; }
+  const NashDbOptions& options() const { return options_; }
+
+  /// maxFrags for one table under the block-size rule.
+  std::size_t MaxFragsFor(TupleCount table_size) const;
+
+ private:
+  Dataset dataset_;
+  NashDbOptions options_;
+  std::unique_ptr<Fragmenter> (*fragmenter_factory_)();
+  std::unique_ptr<TupleValueEstimator> estimator_;
+  /// One (stateful) fragmenter instance per table, so greedy split/merge
+  /// state survives across reconfigurations.
+  std::map<TableId, std::unique_ptr<Fragmenter>> fragmenters_;
+  /// Previous configuration, the anchor for incremental placement.
+  std::unique_ptr<ClusterConfig> last_config_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_ENGINE_NASHDB_SYSTEM_H_

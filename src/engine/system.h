@@ -1,0 +1,34 @@
+#ifndef NASHDB_ENGINE_SYSTEM_H_
+#define NASHDB_ENGINE_SYSTEM_H_
+
+#include <string_view>
+
+#include "common/query.h"
+#include "replication/cluster_config.h"
+
+namespace nashdb {
+
+/// A data-distribution system under evaluation: anything that observes the
+/// query stream and produces cluster configurations (fragmentation +
+/// replication + placement + implied cluster size). NashDB and the two
+/// end-to-end baselines (Threshold/E-Store-like and Hypergraph/SWORD-like)
+/// implement this; the simulation driver treats them uniformly.
+class DistributionSystem {
+ public:
+  virtual ~DistributionSystem() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Feeds one incoming query's scans into the system's statistics.
+  virtual void Observe(const Query& query) = 0;
+
+  /// Computes a fresh cluster configuration from current statistics.
+  virtual ClusterConfig BuildConfig() = 0;
+
+  /// Drops all adaptation state (for reuse across experiment runs).
+  virtual void Reset() = 0;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_ENGINE_SYSTEM_H_

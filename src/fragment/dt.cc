@@ -1,0 +1,70 @@
+#include "common/logging.h"
+#include "fragment/fragmenter.h"
+
+namespace nashdb {
+
+FragmentationScheme DtFragmenter::Refragment(const FragmentationContext& ctx,
+                                             std::size_t max_frags) {
+  NASHDB_CHECK_GT(max_frags, 0u);
+  FragmentationScheme scheme;
+  scheme.table = ctx.table;
+  scheme.table_size = ctx.table_size();
+  if (scheme.table_size == 0) return scheme;
+
+  PrefixStats stats(*ctx.profile);
+  scheme.fragments.push_back(TupleRange{0, scheme.table_size});
+
+  // CART-style top-down induction: repeatedly apply the globally best
+  // split until the cap is reached or no split strictly reduces error.
+  while (scheme.fragments.size() < max_frags) {
+    Money best_gain = 0.0;
+    std::size_t best_idx = 0;
+    TupleIndex best_point = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < scheme.fragments.size(); ++i) {
+      const TupleRange& f = scheme.fragments[i];
+      const auto split = FindBestSplit(stats, f.start, f.end);
+      if (!split) continue;
+      if (split->reduction() > best_gain) {
+        best_gain = split->reduction();
+        best_idx = i;
+        best_point = split->split_point;
+        found = true;
+      }
+    }
+    if (!found) break;
+    const TupleRange f = scheme.fragments[best_idx];
+    scheme.fragments[best_idx] = TupleRange{f.start, best_point};
+    scheme.fragments.insert(
+        scheme.fragments.begin() + static_cast<std::ptrdiff_t>(best_idx) + 1,
+        TupleRange{best_point, f.end});
+  }
+
+  NASHDB_DCHECK(scheme.Valid());
+  return scheme;
+}
+
+FragmentationScheme NaiveFragmenter::Refragment(
+    const FragmentationContext& ctx, std::size_t max_frags) {
+  NASHDB_CHECK_GT(max_frags, 0u);
+  FragmentationScheme scheme;
+  scheme.table = ctx.table;
+  scheme.table_size = ctx.table_size();
+  const TupleCount n = scheme.table_size;
+  if (n == 0) return scheme;
+
+  const std::size_t k = static_cast<std::size_t>(
+      std::min<TupleCount>(max_frags, n));
+  scheme.fragments.reserve(k);
+  TupleIndex cursor = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    // Distribute remainder tuples across the first (n % k) fragments.
+    const TupleCount len = n / k + (i < n % k ? 1 : 0);
+    scheme.fragments.push_back(TupleRange{cursor, cursor + len});
+    cursor += len;
+  }
+  NASHDB_DCHECK(scheme.Valid());
+  return scheme;
+}
+
+}  // namespace nashdb

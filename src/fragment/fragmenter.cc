@@ -1,0 +1,35 @@
+#include "fragment/fragmenter.h"
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+std::optional<SplitResult> FindBestSplit(const PrefixStats& stats,
+                                         TupleIndex start, TupleIndex end) {
+  const std::vector<TupleIndex> candidates =
+      stats.InteriorBoundaries(start, end);
+  if (candidates.empty()) return std::nullopt;
+
+  SplitResult best;
+  best.original_error = stats.Err(start, end);
+  bool found = false;
+  for (TupleIndex p : candidates) {
+    const Money err = stats.Err(start, p) + stats.Err(p, end);
+    if (!found || err < best.split_error) {
+      best.split_point = p;
+      best.split_error = err;
+      found = true;
+    }
+  }
+  return best;
+}
+
+Money SchemeError(const FragmentationScheme& scheme,
+                  const ValueProfile& profile) {
+  PrefixStats stats(profile);
+  Money total = 0.0;
+  for (const TupleRange& f : scheme.fragments) total += stats.Err(f);
+  return total;
+}
+
+}  // namespace nashdb

@@ -1,0 +1,183 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "fragment/fragmenter.h"
+
+namespace nashdb {
+namespace {
+
+// The cut-crossing weight function: for a cut position p (separating tuple
+// p-1 from tuple p), the total weight of window scans [s, e) with
+// s < p < e. Piecewise constant in p; represented as sorted pieces.
+struct CrossingPiece {
+  TupleIndex start;  // first cut position of the piece
+  TupleIndex end;    // one past the last cut position
+  double weight;
+};
+
+std::vector<CrossingPiece> BuildCrossingFunction(
+    std::span<const Scan> scans, TupleCount n, bool price_weighted) {
+  // Difference map over cut positions in [1, n-1]: a scan [s, e) covers cut
+  // positions [s+1, e-1], i.e. +w at s+1 and -w at e.
+  std::map<TupleIndex, double> diff;
+  for (const Scan& sc : scans) {
+    if (sc.range.size() < 2) continue;  // cannot be crossed
+    const double w = price_weighted ? sc.price : 1.0;
+    diff[sc.range.start + 1] += w;
+    diff[std::min<TupleIndex>(sc.range.end, n)] -= w;
+  }
+  std::vector<CrossingPiece> pieces;
+  if (n < 2) return pieces;
+  double acc = 0.0;
+  TupleIndex cursor = 1;
+  for (const auto& [pos, delta] : diff) {
+    if (pos > cursor && cursor <= n - 1) {
+      pieces.push_back(
+          CrossingPiece{cursor, std::min<TupleIndex>(pos, n), acc});
+    }
+    acc += delta;
+    cursor = std::max<TupleIndex>(cursor, pos);
+  }
+  if (cursor <= n - 1) {
+    pieces.push_back(CrossingPiece{cursor, n, acc});
+  }
+  return pieces;
+}
+
+double CrossingAt(const std::vector<CrossingPiece>& pieces, TupleIndex p) {
+  auto it = std::upper_bound(
+      pieces.begin(), pieces.end(), p,
+      [](TupleIndex v, const CrossingPiece& c) { return v < c.end; });
+  if (it == pieces.end() || p < it->start) return 0.0;
+  return it->weight;
+}
+
+// Unconstrained min-cut: the k-1 cheapest distinct cut positions. Ties
+// break toward the lowest position, reproducing the paper's observation
+// that for Bernoulli-style workloads the cheapest cuts pile up at the cold
+// front of the table.
+std::vector<TupleIndex> UnconstrainedCuts(
+    const std::vector<CrossingPiece>& pieces, TupleCount n,
+    std::size_t num_cuts) {
+  std::vector<CrossingPiece> sorted = pieces;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CrossingPiece& a, const CrossingPiece& b) {
+              if (a.weight != b.weight) return a.weight < b.weight;
+              return a.start < b.start;
+            });
+  std::vector<TupleIndex> cuts;
+  cuts.reserve(num_cuts);
+  for (const CrossingPiece& piece : sorted) {
+    for (TupleIndex p = piece.start; p < piece.end && cuts.size() < num_cuts;
+         ++p) {
+      cuts.push_back(p);
+    }
+    if (cuts.size() == num_cuts) break;
+  }
+  (void)n;
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+// Balance-constrained min-cut via DP over candidate positions.
+std::vector<TupleIndex> BalancedCuts(const std::vector<CrossingPiece>& pieces,
+                                     TupleCount n, std::size_t k,
+                                     TupleCount cap) {
+  // Candidate positions: piece starts plus forward (i * cap) and backward
+  // (n - i * cap) grids. The backward grid guarantees a feasible chain of
+  // k parts each <= cap whenever k * cap >= n: cuts at n - (k-j) * cap.
+  std::vector<TupleIndex> cand;
+  cand.push_back(0);
+  cand.push_back(n);
+  for (const CrossingPiece& piece : pieces) cand.push_back(piece.start);
+  for (std::size_t i = 1; i < k; ++i) {
+    const TupleCount fwd = static_cast<TupleCount>(i) * cap;
+    if (fwd < n) cand.push_back(fwd);
+    const TupleCount back = static_cast<TupleCount>(i) * cap;
+    if (back < n) cand.push_back(n - back);
+  }
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+  const std::size_t m = cand.size() - 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(k + 1, std::vector<double>(m + 1, kInf));
+  std::vector<std::vector<std::size_t>> prev(
+      k + 1, std::vector<std::size_t>(m + 1, 0));
+  dp[0][0] = 0.0;
+  for (std::size_t j = 1; j <= k; ++j) {
+    for (std::size_t i = 1; i <= m; ++i) {
+      for (std::size_t t = 0; t < i; ++t) {
+        if (dp[j - 1][t] == kInf) continue;
+        if (cand[i] - cand[t] > cap) continue;
+        const double cut_cost =
+            t == 0 ? 0.0 : CrossingAt(pieces, cand[t]);
+        const double c = dp[j - 1][t] + cut_cost;
+        if (c < dp[j][i]) {
+          dp[j][i] = c;
+          prev[j][i] = t;
+        }
+      }
+    }
+  }
+
+  std::vector<TupleIndex> cuts;
+  // Use the largest feasible part count <= k (smaller j can be infeasible
+  // when cap * j < n).
+  std::size_t j = k;
+  while (j > 0 && dp[j][m] == kInf) --j;
+  NASHDB_CHECK_GT(j, 0u) << "balance constraint infeasible";
+  std::size_t i = m;
+  while (j > 1) {
+    i = prev[j][i];
+    cuts.push_back(cand[i]);
+    --j;
+  }
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+}  // namespace
+
+FragmentationScheme HypergraphFragmenter::Refragment(
+    const FragmentationContext& ctx, std::size_t max_frags) {
+  NASHDB_CHECK_GT(max_frags, 0u);
+  FragmentationScheme scheme;
+  scheme.table = ctx.table;
+  scheme.table_size = ctx.table_size();
+  const TupleCount n = scheme.table_size;
+  if (n == 0) return scheme;
+
+  const std::size_t k =
+      static_cast<std::size_t>(std::min<TupleCount>(max_frags, n));
+  const auto pieces =
+      BuildCrossingFunction(ctx.window_scans, n, options_.price_weighted);
+
+  std::vector<TupleIndex> cuts;
+  if (k > 1) {
+    if (options_.max_imbalance <= 0.0) {
+      cuts = UnconstrainedCuts(pieces, n, k - 1);
+    } else {
+      const double ideal = static_cast<double>(n) / static_cast<double>(k);
+      TupleCount cap = static_cast<TupleCount>(
+          std::ceil(ideal * (1.0 + options_.max_imbalance)));
+      if (cap * k < n) cap = (n + k - 1) / k;  // ensure feasibility
+      cuts = BalancedCuts(pieces, n, k, cap);
+    }
+  }
+
+  TupleIndex cursor = 0;
+  for (TupleIndex c : cuts) {
+    if (c <= cursor || c >= n) continue;
+    scheme.fragments.push_back(TupleRange{cursor, c});
+    cursor = c;
+  }
+  scheme.fragments.push_back(TupleRange{cursor, n});
+  NASHDB_DCHECK(scheme.Valid());
+  return scheme;
+}
+
+}  // namespace nashdb

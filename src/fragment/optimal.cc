@@ -1,0 +1,99 @@
+#include <limits>
+
+#include "common/logging.h"
+#include "fragment/fragmenter.h"
+
+namespace nashdb {
+
+FragmentationScheme OptimalFragmenter::Refragment(
+    const FragmentationContext& ctx, std::size_t max_frags) {
+  NASHDB_CHECK_GT(max_frags, 0u);
+  FragmentationScheme scheme;
+  scheme.table = ctx.table;
+  scheme.table_size = ctx.table_size();
+  if (scheme.table_size == 0) return scheme;
+
+  PrefixStats stats(*ctx.profile);
+
+  // Candidate boundaries: the value change points (optimal boundaries lie
+  // there, [10, 29]). boundaries() includes 0 and table_size.
+  std::vector<TupleIndex> bounds = stats.boundaries();
+  if (max_candidates_ > 0 && bounds.size() > max_candidates_ + 2) {
+    // Uniformly subsample interior candidates, always keeping 0 and N.
+    std::vector<TupleIndex> sub;
+    sub.reserve(max_candidates_ + 2);
+    sub.push_back(bounds.front());
+    const std::size_t interior = bounds.size() - 2;
+    for (std::size_t i = 0; i < max_candidates_; ++i) {
+      const std::size_t idx = 1 + i * interior / max_candidates_;
+      if (sub.back() != bounds[idx]) sub.push_back(bounds[idx]);
+    }
+    if (sub.back() != bounds.back()) sub.push_back(bounds.back());
+    bounds = std::move(sub);
+  }
+
+  const std::size_t m = bounds.size() - 1;  // number of atomic intervals
+  const std::size_t k = std::min<std::size_t>(max_frags, m);
+
+  // Boundary-aligned cumulative sums make the DP's error evaluations O(1)
+  // without the per-call binary search inside PrefixStats (this inner loop
+  // runs O(k m^2) times).
+  std::vector<Money> cs(m + 1, 0.0), cs2(m + 1, 0.0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    cs[i] = cs[i - 1] + stats.Sum(bounds[i - 1], bounds[i]);
+    cs2[i] = cs2[i - 1] + stats.SumSq(bounds[i - 1], bounds[i]);
+  }
+  auto seg_err = [&](std::size_t t, std::size_t i) -> Money {
+    const Money n = static_cast<Money>(bounds[i] - bounds[t]);
+    const Money s = cs[i] - cs[t];
+    const Money e = (cs2[i] - cs2[t]) - s * s / n;
+    return e < 0.0 ? 0.0 : e;
+  };
+
+  // dp[j][i]: minimum error splitting intervals [0, i) into exactly j
+  // fragments; prev[j][i]: the argmin boundary index. Since splitting never
+  // increases unnormalized variance, using exactly k fragments is optimal.
+  constexpr Money kInf = std::numeric_limits<Money>::infinity();
+  std::vector<std::vector<Money>> dp(k + 1,
+                                     std::vector<Money>(m + 1, kInf));
+  std::vector<std::vector<std::size_t>> prev(
+      k + 1, std::vector<std::size_t>(m + 1, 0));
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    dp[1][i] = seg_err(0, i);
+  }
+  for (std::size_t j = 2; j <= k; ++j) {
+    for (std::size_t i = j; i <= m; ++i) {
+      Money best = kInf;
+      std::size_t best_t = j - 1;
+      for (std::size_t t = j - 1; t < i; ++t) {
+        if (dp[j - 1][t] == kInf) continue;
+        const Money cand = dp[j - 1][t] + seg_err(t, i);
+        if (cand < best) {
+          best = cand;
+          best_t = t;
+        }
+      }
+      dp[j][i] = best;
+      prev[j][i] = best_t;
+    }
+  }
+
+  // Reconstruct boundaries (right to left).
+  std::vector<TupleIndex> cuts;
+  std::size_t i = m;
+  for (std::size_t j = k; j >= 1; --j) {
+    cuts.push_back(bounds[i]);
+    i = (j > 1) ? prev[j][i] : 0;
+  }
+  cuts.push_back(bounds[0]);
+
+  scheme.fragments.reserve(k);
+  for (std::size_t c = cuts.size() - 1; c >= 1; --c) {
+    scheme.fragments.push_back(TupleRange{cuts[c], cuts[c - 1]});
+  }
+  NASHDB_DCHECK(scheme.Valid());
+  return scheme;
+}
+
+}  // namespace nashdb

@@ -1,0 +1,83 @@
+#include "fragment/prefix_stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+PrefixStats::PrefixStats(const ValueProfile& profile)
+    : table_size_(profile.table_size()) {
+  const auto& chunks = profile.chunks();
+  starts_.reserve(chunks.size());
+  values_.reserve(chunks.size());
+  cum_sum_.resize(chunks.size() + 1, 0.0);
+  cum_sumsq_.resize(chunks.size() + 1, 0.0);
+  boundaries_.reserve(chunks.size() + 1);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const ValueChunk& c = chunks[i];
+    starts_.push_back(c.start);
+    values_.push_back(c.value);
+    boundaries_.push_back(c.start);
+    const Money n = static_cast<Money>(c.size());
+    cum_sum_[i + 1] = cum_sum_[i] + c.value * n;
+    cum_sumsq_[i + 1] = cum_sumsq_[i] + c.value * c.value * n;
+  }
+  boundaries_.push_back(table_size_);
+}
+
+std::size_t PrefixStats::ChunkOf(TupleIndex x) const {
+  NASHDB_DCHECK(x < table_size_);
+  // Last chunk whose start is <= x.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), x);
+  NASHDB_DCHECK(it != starts_.begin());
+  return static_cast<std::size_t>(it - starts_.begin()) - 1;
+}
+
+Money PrefixStats::Sum(TupleIndex a, TupleIndex b) const {
+  if (b <= a) return 0.0;
+  NASHDB_DCHECK(b <= table_size_);
+  // Cumulative value up to position p = full chunks before p's chunk plus a
+  // partial contribution from p's chunk.
+  auto cum_at = [this](TupleIndex p) -> Money {
+    if (p == 0) return 0.0;
+    if (p >= table_size_) return cum_sum_.back();
+    const std::size_t c = ChunkOf(p);
+    return cum_sum_[c] + values_[c] * static_cast<Money>(p - starts_[c]);
+  };
+  return cum_at(b) - cum_at(a);
+}
+
+Money PrefixStats::SumSq(TupleIndex a, TupleIndex b) const {
+  if (b <= a) return 0.0;
+  NASHDB_DCHECK(b <= table_size_);
+  auto cum_at = [this](TupleIndex p) -> Money {
+    if (p == 0) return 0.0;
+    if (p >= table_size_) return cum_sumsq_.back();
+    const std::size_t c = ChunkOf(p);
+    return cum_sumsq_[c] +
+           values_[c] * values_[c] * static_cast<Money>(p - starts_[c]);
+  };
+  return cum_at(b) - cum_at(a);
+}
+
+Money PrefixStats::Err(TupleIndex a, TupleIndex b) const {
+  if (b <= a) return 0.0;
+  const Money n = static_cast<Money>(b - a);
+  const Money sum = Sum(a, b);
+  const Money err = SumSq(a, b) - sum * sum / n;
+  // Guard against tiny negative values from floating-point cancellation.
+  return err < 0.0 ? 0.0 : err;
+}
+
+std::vector<TupleIndex> PrefixStats::InteriorBoundaries(TupleIndex a,
+                                                        TupleIndex b) const {
+  std::vector<TupleIndex> out;
+  auto lo = std::upper_bound(boundaries_.begin(), boundaries_.end(), a);
+  for (auto it = lo; it != boundaries_.end() && *it < b; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace nashdb

@@ -1,0 +1,30 @@
+#include "fragment/scheme.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+std::size_t FragmentationScheme::FragmentContaining(TupleIndex x) const {
+  NASHDB_DCHECK(x < table_size);
+  auto it = std::upper_bound(
+      fragments.begin(), fragments.end(), x,
+      [](TupleIndex v, const TupleRange& f) { return v < f.end; });
+  NASHDB_DCHECK(it != fragments.end());
+  return static_cast<std::size_t>(it - fragments.begin());
+}
+
+std::vector<FragmentId> FragmentationScheme::FragmentsOverlapping(
+    const TupleRange& range) const {
+  std::vector<FragmentId> out;
+  if (range.empty() || range.start >= table_size) return out;
+  std::size_t i = FragmentContaining(range.start);
+  while (i < fragments.size() && fragments[i].start < range.end) {
+    out.push_back(static_cast<FragmentId>(i));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace nashdb

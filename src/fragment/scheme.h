@@ -1,0 +1,45 @@
+#ifndef NASHDB_FRAGMENT_SCHEME_H_
+#define NASHDB_FRAGMENT_SCHEME_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nashdb {
+
+/// A horizontal fragmentation of one table: an ordered list of disjoint,
+/// contiguous fragments tiling [0, table_size) in the table's clustered
+/// order (paper §2). Fragment i is `fragments[i]`; its FragmentId is its
+/// position in this vector.
+struct FragmentationScheme {
+  TableId table = 0;
+  TupleCount table_size = 0;
+  std::vector<TupleRange> fragments;
+
+  std::size_t fragment_count() const { return fragments.size(); }
+
+  /// True if fragments are sorted, non-empty, gap-free and tile exactly
+  /// [0, table_size).
+  bool Valid() const {
+    if (table_size == 0) return fragments.empty();
+    if (fragments.empty()) return false;
+    TupleIndex cursor = 0;
+    for (const TupleRange& f : fragments) {
+      if (f.start != cursor || f.empty()) return false;
+      cursor = f.end;
+    }
+    return cursor == table_size;
+  }
+
+  /// Index of the fragment containing tuple x (binary search, O(log F)).
+  std::size_t FragmentContaining(TupleIndex x) const;
+
+  /// All fragment ids overlapping the half-open tuple range. This is F(s)
+  /// in §8: the fragments a range scan must fetch.
+  std::vector<FragmentId> FragmentsOverlapping(const TupleRange& range) const;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_FRAGMENT_SCHEME_H_

@@ -1,0 +1,276 @@
+#include "replication/incremental.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "replication/packer.h"
+
+namespace nashdb {
+namespace {
+
+// Sorted, coalesced holdings of one previous node, for coverage queries.
+struct NodeIntervals {
+  struct Interval {
+    TableId table;
+    TupleRange range;
+  };
+  std::vector<Interval> intervals;
+
+  // True if [range) of `table` lies entirely inside this node's data.
+  bool Covers(TableId table, const TupleRange& range) const {
+    for (const Interval& iv : intervals) {
+      if (iv.table != table) continue;
+      if (iv.range.start <= range.start && range.end <= iv.range.end) {
+        return true;
+      }
+      // Intervals are sorted; once past the range we can stop.
+      if (iv.table == table && iv.range.start >= range.end) break;
+    }
+    return false;
+  }
+};
+
+NodeIntervals IntervalsOf(const ClusterConfig& config, NodeId node) {
+  NodeIntervals out;
+  for (FlatFragmentId fid : config.NodeFragments(node)) {
+    const FragmentInfo& f = config.fragment(fid);
+    out.intervals.push_back(NodeIntervals::Interval{f.table, f.range});
+  }
+  std::sort(out.intervals.begin(), out.intervals.end(),
+            [](const NodeIntervals::Interval& a,
+               const NodeIntervals::Interval& b) {
+              if (a.table != b.table) return a.table < b.table;
+              return a.range.start < b.range.start;
+            });
+  // Coalesce adjacent ranges so coverage spanning old fragment boundaries
+  // is recognized.
+  std::vector<NodeIntervals::Interval> merged;
+  for (const auto& iv : out.intervals) {
+    if (!merged.empty() && merged.back().table == iv.table &&
+        merged.back().range.end >= iv.range.start) {
+      merged.back().range.end =
+          std::max(merged.back().range.end, iv.range.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  out.intervals = std::move(merged);
+  return out;
+}
+
+}  // namespace
+
+Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
+                                        std::vector<FragmentInfo> fragments,
+                                        const ClusterConfig* previous,
+                                        const IncrementalOptions& options) {
+  if (params.node_disk == 0) {
+    return Status::InvalidArgument("node_disk must be positive");
+  }
+  for (const FragmentInfo& f : fragments) {
+    if (f.size() > params.node_disk) {
+      return Status::InvalidArgument(
+          "fragment larger than node disk capacity");
+    }
+  }
+
+  const std::size_t prev_nodes =
+      previous == nullptr ? 0 : previous->node_count();
+  std::vector<NodeIntervals> coverage;
+  coverage.reserve(prev_nodes);
+  for (NodeId m = 0; m < prev_nodes; ++m) {
+    coverage.push_back(IntervalsOf(*previous, m));
+  }
+
+  // Working placement state. Slots beyond prev_nodes are fresh nodes.
+  std::vector<std::vector<FlatFragmentId>> node_frags(prev_nodes);
+  std::vector<TupleCount> node_used(prev_nodes, 0);
+  std::vector<std::vector<bool>> holds;  // per fragment: node bitmap
+
+  auto ensure_holds = [&](std::size_t nodes) {
+    for (auto& h : holds) h.resize(nodes, false);
+  };
+  holds.assign(fragments.size(), std::vector<bool>(prev_nodes, false));
+
+  // Hot fragments first, so they keep their previous homes even if the
+  // cluster is shrinking.
+  std::vector<std::size_t> order(fragments.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (fragments[a].replicas != fragments[b].replicas) {
+      return fragments[a].replicas > fragments[b].replicas;
+    }
+    if (fragments[a].size() != fragments[b].size()) {
+      return fragments[a].size() > fragments[b].size();
+    }
+    return a < b;
+  });
+
+  auto place = [&](std::size_t idx, std::size_t node) {
+    node_frags[node].push_back(static_cast<FlatFragmentId>(idx));
+    node_used[node] += fragments[idx].size();
+    holds[idx][node] = true;
+  };
+
+  // Places up to `count` additional replicas of fragment `idx`; returns
+  // how many were placed. Preference order: previous nodes already
+  // holding the data (emptiest first, so later fragments stay placeable),
+  // then any existing node first-fit, then fresh nodes if allowed.
+  auto place_replicas = [&](std::size_t idx, std::size_t count)
+      -> std::size_t {
+    const FragmentInfo& f = fragments[idx];
+    std::size_t placed = 0;
+
+    std::vector<std::size_t> coverers;
+    for (std::size_t m = 0; m < prev_nodes; ++m) {
+      if (coverage[m].Covers(f.table, f.range)) coverers.push_back(m);
+    }
+    std::sort(coverers.begin(), coverers.end(),
+              [&](std::size_t a, std::size_t b) {
+                return node_used[a] < node_used[b];
+              });
+    for (std::size_t m : coverers) {
+      if (placed == count) break;
+      if (holds[idx][m] || node_used[m] + f.size() > params.node_disk) {
+        continue;
+      }
+      place(idx, m);
+      ++placed;
+    }
+    // Spread over existing nodes, emptiest first: contiguous fragments of
+    // one table then land on different disks, so a range scan
+    // parallelizes instead of serializing behind a single node.
+    while (placed < count) {
+      std::size_t best = node_frags.size();
+      for (std::size_t m = 0; m < node_frags.size(); ++m) {
+        if (holds[idx][m] || node_used[m] + f.size() > params.node_disk) {
+          continue;
+        }
+        if (best == node_frags.size() || node_used[m] < node_used[best]) {
+          best = m;
+        }
+      }
+      if (best == node_frags.size()) break;
+      place(idx, best);
+      ++placed;
+    }
+    while (placed < count &&
+           (options.max_nodes == 0 ||
+            node_frags.size() < options.max_nodes)) {
+      node_frags.emplace_back();
+      node_used.push_back(0);
+      ensure_holds(node_frags.size());
+      place(idx, node_frags.size() - 1);
+      ++placed;
+    }
+    return placed;
+  };
+
+  // Phase 1: one copy of every fragment — base coverage must never lose
+  // space to extra replicas of hot data. Zero-replica fragments (pure
+  // Eq. 9 mode, min_replicas == 0) are deliberately unplaced.
+  std::vector<std::size_t> achieved(fragments.size(), 0);
+  for (std::size_t idx : order) {
+    if (fragments[idx].replicas == 0) continue;
+    achieved[idx] = place_replicas(idx, 1);
+    if (achieved[idx] == 0) {
+      return Status::ResourceExhausted(
+          "cluster too small to hold even one copy of every fragment");
+    }
+  }
+  // Phase 2: the remaining (extra) replicas, hottest first.
+  for (std::size_t idx : order) {
+    if (fragments[idx].replicas <= achieved[idx]) continue;
+    achieved[idx] +=
+        place_replicas(idx, fragments[idx].replicas - achieved[idx]);
+  }
+  for (std::size_t idx = 0; idx < fragments.size(); ++idx) {
+    fragments[idx].replicas = achieved[idx];
+  }
+
+  // Elastic consolidation: when demand fell, incremental reuse can leave
+  // many half-empty rented nodes behind. Evacuate the emptiest nodes into
+  // the others' free space until the cluster is within one node of its
+  // volume minimum — the transition planner prices the moves, and the
+  // saved rent recurs every period.
+  if (options.max_nodes == 0) {
+    TupleCount volume = 0;
+    for (TupleCount u : node_used) volume += u;
+    const std::size_t target =
+        static_cast<std::size_t>((volume + params.node_disk - 1) /
+                                 params.node_disk) +
+        1;
+    std::size_t live = 0;
+    for (const auto& frags : node_frags) {
+      if (!frags.empty()) ++live;
+    }
+    while (live > target) {
+      // Emptiest non-empty node.
+      std::size_t victim = node_frags.size();
+      for (std::size_t m = 0; m < node_frags.size(); ++m) {
+        if (node_frags[m].empty()) continue;
+        if (victim == node_frags.size() ||
+            node_used[m] < node_used[victim]) {
+          victim = m;
+        }
+      }
+      if (victim == node_frags.size()) break;
+      // Tentatively evacuate; roll back if any fragment has no home.
+      bool ok = true;
+      std::vector<std::pair<FlatFragmentId, std::size_t>> moves;
+      for (FlatFragmentId fid : node_frags[victim]) {
+        std::size_t dest = node_frags.size();
+        for (std::size_t m = 0; m < node_frags.size(); ++m) {
+          if (m == victim || node_frags[m].empty()) continue;
+          if (holds[fid][m] ||
+              node_used[m] + fragments[fid].size() > params.node_disk) {
+            continue;
+          }
+          if (dest == node_frags.size() || node_used[m] < node_used[dest]) {
+            dest = m;
+          }
+        }
+        if (dest == node_frags.size()) {
+          ok = false;
+          break;
+        }
+        moves.emplace_back(fid, dest);
+        node_used[dest] += fragments[fid].size();  // reserve
+        holds[fid][dest] = true;
+      }
+      if (!ok) {
+        for (const auto& [fid, dest] : moves) {
+          node_used[dest] -= fragments[fid].size();
+          holds[fid][dest] = false;
+        }
+        break;  // cannot shrink further
+      }
+      for (const auto& [fid, dest] : moves) {
+        node_frags[dest].push_back(fid);
+        holds[fid][victim] = false;
+      }
+      node_used[victim] = 0;
+      node_frags[victim].clear();
+      --live;
+    }
+  }
+
+  // Elastic clusters decommission empty nodes; fixed-size clusters keep
+  // them (their rent is the baseline's tuning knob). Fixed-size clusters
+  // are also padded up to max_nodes.
+  std::vector<std::vector<FlatFragmentId>> final_nodes;
+  if (options.max_nodes == 0) {
+    for (auto& frags : node_frags) {
+      if (!frags.empty()) final_nodes.push_back(std::move(frags));
+    }
+    if (final_nodes.empty()) final_nodes.emplace_back();
+  } else {
+    final_nodes = std::move(node_frags);
+    final_nodes.resize(options.max_nodes);
+  }
+
+  return BuildConfigFromPlacement(params, std::move(fragments), final_nodes);
+}
+
+}  // namespace nashdb

@@ -1,0 +1,125 @@
+#include "replication/nash.h"
+
+#include <sstream>
+
+namespace nashdb {
+namespace {
+
+// Tolerance for profit comparisons: incomes are products/quotients of
+// doubles, so strict zero comparisons would flag spurious violations.
+constexpr Money kEps = 1e-9;
+
+Money MarginalProfitHeld(const ClusterConfig& config, FlatFragmentId fid) {
+  const FragmentInfo& f = config.fragment(fid);
+  return ReplicaIncome(f.value, f.replicas, config.params()) -
+         ReplicaCost(f.size(), config.params());
+}
+
+Money MarginalProfitAdded(const ClusterConfig& config, FlatFragmentId fid) {
+  const FragmentInfo& f = config.fragment(fid);
+  return ReplicaIncome(f.value, f.replicas + 1, config.params()) -
+         ReplicaCost(f.size(), config.params());
+}
+
+}  // namespace
+
+Money NodeProfit(const ClusterConfig& config, NodeId node) {
+  Money profit = 0.0;
+  for (FlatFragmentId fid : config.NodeFragments(node)) {
+    profit += MarginalProfitHeld(config, fid);
+  }
+  return profit;
+}
+
+NashReport CheckNashEquilibrium(const ClusterConfig& config,
+                                bool exempt_min_replicas) {
+  NashReport report;
+  const auto& params = config.params();
+
+  auto fail = [&report](const std::string& why) {
+    report.is_equilibrium = false;
+    if (report.violation.empty()) report.violation = why;
+  };
+
+  // Fragments whose replica count was forced above the economic ideal by
+  // the availability floor; exempt from "dropping/swapping it would gain"
+  // audits when requested (the floor is a policy, not a node's choice).
+  auto floor_pinned = [&](FlatFragmentId fid) {
+    const FragmentInfo& f = config.fragment(fid);
+    return exempt_min_replicas && f.replicas <= params.min_replicas &&
+           IdealReplicas(f.value, f.size(),
+                         ReplicationParams{params.node_cost, params.node_disk,
+                                           params.window_scans,
+                                           /*min_replicas=*/0,
+                                           params.max_replicas}) < f.replicas;
+  };
+
+  for (NodeId node = 0; node < config.node_count(); ++node) {
+    report.total_profit += NodeProfit(config, node);
+  }
+
+  // Condition 1: every held replica is (weakly) profitable.
+  for (FlatFragmentId fid = 0; fid < config.fragments().size(); ++fid) {
+    const FragmentInfo& f = config.fragment(fid);
+    if (f.replicas == 0) continue;
+    if (floor_pinned(fid)) continue;  // policy floor, not an economic choice
+    if (MarginalProfitHeld(config, fid) < -kEps) {
+      std::ostringstream os;
+      os << "condition 1 violated: dropping a replica of fragment " << fid
+         << " gains " << -MarginalProfitHeld(config, fid);
+      fail(os.str());
+    }
+  }
+
+  // Condition 2: adding one more replica of any fragment is unprofitable
+  // (unless the count was capped below the ideal by max_replicas).
+  for (FlatFragmentId fid = 0; fid < config.fragments().size(); ++fid) {
+    const FragmentInfo& f = config.fragment(fid);
+    if (params.max_replicas > 0 && f.replicas >= params.max_replicas) {
+      continue;
+    }
+    if (MarginalProfitAdded(config, fid) > kEps) {
+      std::ostringstream os;
+      os << "condition 2 violated: adding a replica of fragment " << fid
+         << " gains " << MarginalProfitAdded(config, fid);
+      fail(os.str());
+    }
+  }
+
+  // Condition 3: no profitable swap. A swap drops a held replica (losing
+  // its non-negative margin, by condition 1) and adds a new one (gaining a
+  // non-positive margin, by condition 2), so any violation is already
+  // reported above; we still audit the strongest swap pair directly.
+  for (NodeId node = 0; node < config.node_count(); ++node) {
+    for (FlatFragmentId held : config.NodeFragments(node)) {
+      if (floor_pinned(held)) continue;  // the floor replica cannot move
+      const Money drop_loss = MarginalProfitHeld(config, held);
+      for (FlatFragmentId other = 0; other < config.fragments().size();
+           ++other) {
+        if (other == held || config.Holds(node, other)) continue;
+        const Money add_gain = MarginalProfitAdded(config, other);
+        if (add_gain - drop_loss > kEps) {
+          std::ostringstream os;
+          os << "condition 3 violated: node " << node << " swaps " << held
+             << " for " << other << " gaining " << (add_gain - drop_loss);
+          fail(os.str());
+        }
+      }
+    }
+  }
+
+  // Condition 4: no entrant can profit. The best possible entrant holds
+  // only replicas with positive marginal profit at Replicas(f)+1; by
+  // condition 2 there are none.
+  for (FlatFragmentId fid = 0; fid < config.fragments().size(); ++fid) {
+    if (MarginalProfitAdded(config, fid) > kEps) {
+      std::ostringstream os;
+      os << "condition 4 violated: an entrant profits from fragment " << fid;
+      fail(os.str());
+    }
+  }
+
+  return report;
+}
+
+}  // namespace nashdb

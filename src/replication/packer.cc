@@ -1,0 +1,93 @@
+#include "replication/packer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nashdb {
+
+Result<ClusterConfig> PackReplicasBffd(const ReplicationParams& params,
+                                       std::vector<FragmentInfo> fragments) {
+  if (params.node_disk == 0) {
+    return Status::InvalidArgument("node_disk must be positive");
+  }
+  for (const FragmentInfo& f : fragments) {
+    if (f.size() > params.node_disk) {
+      return Status::InvalidArgument(
+          "fragment larger than node disk capacity");
+    }
+  }
+
+  ClusterConfig config(params, std::move(fragments));
+
+  // Process fragments in decreasing order of replica count (ties broken by
+  // decreasing size for tighter packing, then by id for determinism).
+  std::vector<FlatFragmentId> order(config.fragments().size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](FlatFragmentId a, FlatFragmentId b) {
+              const FragmentInfo& fa = config.fragment(a);
+              const FragmentInfo& fb = config.fragment(b);
+              if (fa.replicas != fb.replicas) return fa.replicas > fb.replicas;
+              if (fa.size() != fb.size()) return fa.size() > fb.size();
+              return a < b;
+            });
+
+  for (FlatFragmentId fid : order) {
+    const FragmentInfo& f = config.fragment(fid);
+    for (std::size_t r = 0; r < f.replicas; ++r) {
+      bool placed = false;
+      for (NodeId node = 0; node < config.node_count(); ++node) {
+        if (config.Fits(node, f.size()) && !config.Holds(node, fid)) {
+          config.Place(node, fid);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        const NodeId node = config.AddNode();
+        config.Place(node, fid);
+      }
+    }
+  }
+  return config;
+}
+
+Result<ClusterConfig> BuildConfigFromPlacement(
+    const ReplicationParams& params, std::vector<FragmentInfo> fragments,
+    const std::vector<std::vector<FlatFragmentId>>& node_fragments) {
+  if (params.node_disk == 0) {
+    return Status::InvalidArgument("node_disk must be positive");
+  }
+  // Recompute achieved replica counts.
+  std::vector<std::size_t> achieved(fragments.size(), 0);
+  for (const auto& frags : node_fragments) {
+    for (FlatFragmentId fid : frags) {
+      if (fid >= fragments.size()) {
+        return Status::InvalidArgument("placement references unknown fragment");
+      }
+      ++achieved[fid];
+    }
+  }
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    fragments[i].replicas = achieved[i];
+  }
+
+  ClusterConfig config(params, std::move(fragments));
+  for (const auto& frags : node_fragments) {
+    const NodeId node = config.AddNode();
+    TupleCount used = 0;
+    for (FlatFragmentId fid : frags) {
+      if (config.Holds(node, fid)) {
+        return Status::InvalidArgument("duplicate replica on one node");
+      }
+      used += config.fragment(fid).size();
+      if (used > params.node_disk) {
+        return Status::InvalidArgument("node over capacity");
+      }
+      config.Place(node, fid);
+    }
+  }
+  return config;
+}
+
+}  // namespace nashdb

@@ -1,0 +1,46 @@
+#include "replication/replication.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+Money ReplicaCost(TupleCount size, const ReplicationParams& params) {
+  NASHDB_DCHECK(params.node_disk > 0);
+  return static_cast<Money>(size) * params.node_cost /
+         static_cast<Money>(params.node_disk);
+}
+
+Money ReplicaIncome(Money value, std::size_t replicas,
+                    const ReplicationParams& params) {
+  NASHDB_DCHECK(replicas > 0);
+  return static_cast<Money>(params.window_scans) * value /
+         static_cast<Money>(replicas);
+}
+
+std::size_t IdealReplicas(Money value, TupleCount size,
+                          const ReplicationParams& params) {
+  NASHDB_CHECK_GT(params.node_disk, 0u);
+  NASHDB_CHECK_GT(params.node_cost, 0.0);
+  NASHDB_CHECK_GT(size, 0u);
+
+  const Money raw = static_cast<Money>(params.window_scans) * value *
+                    static_cast<Money>(params.node_disk) /
+                    (static_cast<Money>(size) * params.node_cost);
+  std::size_t ideal = raw <= 0.0 ? 0 : static_cast<std::size_t>(raw);
+  if (ideal < params.min_replicas) ideal = params.min_replicas;
+  if (params.max_replicas > 0 && ideal > params.max_replicas) {
+    ideal = params.max_replicas;
+  }
+  return ideal;
+}
+
+void DecideReplication(const ReplicationParams& params,
+                       std::vector<FragmentInfo>* fragments) {
+  for (FragmentInfo& f : *fragments) {
+    f.replicas = IdealReplicas(f.value, f.size(), params);
+  }
+}
+
+}  // namespace nashdb

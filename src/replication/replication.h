@@ -1,0 +1,67 @@
+#ifndef NASHDB_REPLICATION_REPLICATION_H_
+#define NASHDB_REPLICATION_REPLICATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nashdb {
+
+/// Economic parameters of the (uniform) cluster nodes: each node rents for
+/// `node_cost` per unit time and holds `node_disk` tuples of local storage
+/// (paper §6). The expected cost of storing a replica of fragment f is
+/// C(f) = Size(f) * node_cost / node_disk.
+struct ReplicationParams {
+  Money node_cost = 1.0;
+  TupleCount node_disk = 0;
+  /// |W|: number of scans in the value-estimation window. The expected
+  /// income of a replica is I(f) = |W| * Value(f) / Replicas(f).
+  std::size_t window_scans = 0;
+  /// Floor on replicas per fragment. The pure economic model (Eq. 9)
+  /// assigns zero replicas to fragments earning no income; a real
+  /// deployment must keep data available, so the engine uses 1. Set to 0
+  /// to reproduce the paper's Nash-equilibrium conditions exactly.
+  std::size_t min_replicas = 1;
+  /// Optional cap on replicas per fragment (0 = unbounded).
+  std::size_t max_replicas = 0;
+};
+
+/// One fragment as seen by the replication/placement machinery: a flat
+/// cross-table handle with its windowed value (Eq. 3) and the chosen
+/// replica count.
+struct FragmentInfo {
+  TableId table = 0;
+  FragmentId index_in_table = 0;
+  TupleRange range;
+  /// Value(f): summed averaged tuple value over the fragment.
+  Money value = 0.0;
+  /// Replicas(f): decided by IdealReplicas (filled by DecideReplication).
+  std::size_t replicas = 0;
+
+  TupleCount size() const { return range.size(); }
+};
+
+/// C(f): expected storage cost of one replica of a fragment of `size`
+/// tuples.
+Money ReplicaCost(TupleCount size, const ReplicationParams& params);
+
+/// I(f): expected income of one replica of a fragment with windowed value
+/// `value` when `replicas` copies exist.
+Money ReplicaIncome(Money value, std::size_t replicas,
+                    const ReplicationParams& params);
+
+/// Eq. 9: the largest replica count at which owning a replica is still
+/// (weakly) profitable:
+///   Ideal(f) = floor( |W| * Value(f) * Disk / (Size(f) * Cost) ),
+/// clamped to [min_replicas, max_replicas].
+std::size_t IdealReplicas(Money value, TupleCount size,
+                          const ReplicationParams& params);
+
+/// Fills in FragmentInfo::replicas for every fragment.
+void DecideReplication(const ReplicationParams& params,
+                       std::vector<FragmentInfo>* fragments);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_REPLICATION_REPLICATION_H_

@@ -1,0 +1,171 @@
+#include "routing/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+std::size_t SpanOf(const std::vector<RoutedRead>& reads) {
+  std::set<NodeId> nodes;
+  for (const RoutedRead& r : reads) nodes.insert(r.node);
+  return nodes.size();
+}
+
+std::vector<RoutedRead> MaxOfMinsRouter::Route(
+    const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+    double read_seconds_per_tuple, double phi_s) {
+  std::vector<RoutedRead> out;
+  out.reserve(requests.size());
+  std::vector<bool> scheduled(requests.size(), false);
+  std::vector<bool> used(waits.size(), false);
+
+  for (std::size_t round = 0; round < requests.size(); ++round) {
+    // For every unscheduled request, find its minimum achievable wait and
+    // the node achieving it; then pick the request whose minimum is
+    // maximal (Eq. 11) — the bottleneck — and schedule it first.
+    double best_min = -1.0;
+    std::size_t best_req = requests.size();
+    NodeId best_node = kInvalidNode;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (scheduled[i]) continue;
+      NASHDB_CHECK(!requests[i].candidates.empty())
+          << "request with no replica-holding node";
+      double min_wait = std::numeric_limits<double>::infinity();
+      NodeId min_node = kInvalidNode;
+      for (NodeId m : requests[i].candidates) {
+        const double w = waits[m] + (used[m] ? 0.0 : phi_s);
+        if (w < min_wait) {
+          min_wait = w;
+          min_node = m;
+        }
+      }
+      if (min_wait > best_min) {
+        best_min = min_wait;
+        best_req = i;
+        best_node = min_node;
+      }
+    }
+    NASHDB_DCHECK(best_req < requests.size());
+    scheduled[best_req] = true;
+    used[best_node] = true;
+    waits[best_node] +=
+        static_cast<double>(requests[best_req].tuples) * read_seconds_per_tuple;
+    out.push_back(RoutedRead{best_req, best_node});
+  }
+  return out;
+}
+
+std::vector<RoutedRead> ShortestQueueRouter::Route(
+    const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+    double read_seconds_per_tuple, double phi_s) {
+  (void)phi_s;
+  std::vector<RoutedRead> out;
+  out.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    NASHDB_CHECK(!requests[i].candidates.empty());
+    NodeId best = requests[i].candidates.front();
+    for (NodeId m : requests[i].candidates) {
+      if (waits[m] < waits[best]) best = m;
+    }
+    waits[best] +=
+        static_cast<double>(requests[i].tuples) * read_seconds_per_tuple;
+    out.push_back(RoutedRead{i, best});
+  }
+  return out;
+}
+
+std::vector<RoutedRead> GreedyScRouter::Route(
+    const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+    double read_seconds_per_tuple, double phi_s) {
+  (void)waits;
+  (void)read_seconds_per_tuple;
+  (void)phi_s;
+  std::vector<RoutedRead> out;
+  out.reserve(requests.size());
+  std::vector<bool> scheduled(requests.size(), false);
+  std::size_t remaining = requests.size();
+
+  while (remaining > 0) {
+    // Pick the node covering the most remaining tuples.
+    // (Candidate lists are small, so a simple scan suffices.)
+    NodeId best_node = kInvalidNode;
+    TupleCount best_cover = 0;
+    std::set<NodeId> considered;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (scheduled[i]) continue;
+      NASHDB_CHECK(!requests[i].candidates.empty());
+      for (NodeId m : requests[i].candidates) {
+        if (!considered.insert(m).second) continue;
+        TupleCount cover = 0;
+        for (std::size_t j = 0; j < requests.size(); ++j) {
+          if (scheduled[j]) continue;
+          const auto& cand = requests[j].candidates;
+          if (std::find(cand.begin(), cand.end(), m) != cand.end()) {
+            cover += requests[j].tuples;
+          }
+        }
+        if (cover > best_cover ||
+            (cover == best_cover && best_node == kInvalidNode)) {
+          best_cover = cover;
+          best_node = m;
+        }
+      }
+    }
+    NASHDB_DCHECK(best_node != kInvalidNode);
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      if (scheduled[j]) continue;
+      const auto& cand = requests[j].candidates;
+      if (std::find(cand.begin(), cand.end(), best_node) != cand.end()) {
+        scheduled[j] = true;
+        --remaining;
+        out.push_back(RoutedRead{j, best_node});
+      }
+    }
+  }
+  return out;
+}
+
+PowerOfTwoRouter::PowerOfTwoRouter(std::uint64_t seed) : rng_(seed) {}
+
+std::vector<RoutedRead> PowerOfTwoRouter::Route(
+    const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+    double read_seconds_per_tuple, double phi_s) {
+  std::vector<RoutedRead> out;
+  out.reserve(requests.size());
+  std::vector<bool> used(waits.size(), false);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& cand = requests[i].candidates;
+    NASHDB_CHECK(!cand.empty());
+    NodeId pick;
+    if (cand.size() <= 2) {
+      // Fewer than two replicas: degenerate to exhaustive choice.
+      pick = cand.front();
+      for (NodeId m : cand) {
+        const double w = waits[m] + (used[m] ? 0.0 : phi_s);
+        const double wp = waits[pick] + (used[pick] ? 0.0 : phi_s);
+        if (w < wp) pick = m;
+      }
+    } else {
+      // Sample two distinct random replicas; keep the better one under
+      // the Eq. 11 criterion.
+      const std::size_t a = static_cast<std::size_t>(rng_.Uniform(cand.size()));
+      std::size_t b = static_cast<std::size_t>(rng_.Uniform(cand.size() - 1));
+      if (b >= a) ++b;
+      const NodeId ma = cand[a];
+      const NodeId mb = cand[b];
+      const double wa = waits[ma] + (used[ma] ? 0.0 : phi_s);
+      const double wb = waits[mb] + (used[mb] ? 0.0 : phi_s);
+      pick = wa <= wb ? ma : mb;
+    }
+    used[pick] = true;
+    waits[pick] +=
+        static_cast<double>(requests[i].tuples) * read_seconds_per_tuple;
+    out.push_back(RoutedRead{i, pick});
+  }
+  return out;
+}
+
+}  // namespace nashdb

@@ -1,0 +1,112 @@
+#ifndef NASHDB_ROUTING_ROUTER_H_
+#define NASHDB_ROUTING_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "replication/cluster_config.h"
+
+namespace nashdb {
+
+/// One fragment that a range scan must fetch, with the replica-holding
+/// candidate nodes (E(s) restricted to this fragment).
+struct FragmentRequest {
+  FlatFragmentId frag = 0;
+  TupleCount tuples = 0;
+  std::vector<NodeId> candidates;
+};
+
+/// A scheduled fragment read: request `request_index` is served by `node`.
+/// The order of RoutedReads is the order in which reads are enqueued.
+struct RoutedRead {
+  std::size_t request_index = 0;
+  NodeId node = kInvalidNode;
+};
+
+/// Strategy for routing the fragment reads of one range scan to replica
+/// nodes (paper §8). Implementations receive the per-node pending work
+/// `waits` (seconds) as a working copy they may advance while scheduling.
+class ScanRouter {
+ public:
+  virtual ~ScanRouter() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Routes all `requests` of one scan. `waits[m]` is node m's queued work
+  /// in seconds at scheduling time; `read_seconds_per_tuple` converts a
+  /// request's tuple count to disk time; `phi_s` is the estimated penalty
+  /// for growing the query's span by one node (the paper's φ = 350 ms).
+  /// Every request is assigned exactly one candidate node.
+  virtual std::vector<RoutedRead> Route(
+      const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+      double read_seconds_per_tuple, double phi_s) = 0;
+};
+
+/// The paper's Max-of-mins router: repeatedly schedules the request whose
+/// *minimum achievable* wait (over candidates, adding φ for nodes the scan
+/// does not already use) is *largest* — the bottleneck read — onto its
+/// minimum-wait node. Grows span only when doing so beats every
+/// already-used node despite the penalty (Eq. 11).
+class MaxOfMinsRouter : public ScanRouter {
+ public:
+  std::string_view name() const override { return "Max of mins"; }
+  std::vector<RoutedRead> Route(const std::vector<FragmentRequest>& requests,
+                                std::vector<double> waits,
+                                double read_seconds_per_tuple,
+                                double phi_s) override;
+};
+
+/// Baseline: each request goes to its shortest-queue candidate, ignoring
+/// span entirely (the paper's "Shortest queue").
+class ShortestQueueRouter : public ScanRouter {
+ public:
+  std::string_view name() const override { return "Shortest queue"; }
+  std::vector<RoutedRead> Route(const std::vector<FragmentRequest>& requests,
+                                std::vector<double> waits,
+                                double read_seconds_per_tuple,
+                                double phi_s) override;
+};
+
+/// Baseline: greedy set cover minimizing query span ([24]; the paper's
+/// "Greedy SC"): repeatedly pick the node covering the most remaining
+/// tuples and assign it all requests it can serve.
+class GreedyScRouter : public ScanRouter {
+ public:
+  std::string_view name() const override { return "Greedy SC"; }
+  std::vector<RoutedRead> Route(const std::vector<FragmentRequest>& requests,
+                                std::vector<double> waits,
+                                double read_seconds_per_tuple,
+                                double phi_s) override;
+};
+
+/// "Power of two choices" variant (the paper's footnote 3, after [32,
+/// 35]): for workloads of many small scans, evaluating every replica's
+/// queue is wasteful; instead each request samples two random candidate
+/// nodes and takes the better one under the Eq. 11 criterion
+/// (wait + φ if the node is not yet in the query's span). O(1) per
+/// request regardless of replication factor.
+class PowerOfTwoRouter : public ScanRouter {
+ public:
+  explicit PowerOfTwoRouter(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::string_view name() const override { return "Power of two"; }
+  std::vector<RoutedRead> Route(const std::vector<FragmentRequest>& requests,
+                                std::vector<double> waits,
+                                double read_seconds_per_tuple,
+                                double phi_s) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Number of distinct nodes in a routing (the query-span contribution of
+/// one scan).
+std::size_t SpanOf(const std::vector<RoutedRead>& reads);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_ROUTING_ROUTER_H_

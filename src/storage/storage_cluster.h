@@ -1,0 +1,85 @@
+#ifndef NASHDB_STORAGE_STORAGE_CLUSTER_H_
+#define NASHDB_STORAGE_STORAGE_CLUSTER_H_
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/query.h"
+#include "common/status.h"
+#include "replication/cluster_config.h"
+#include "routing/router.h"
+#include "storage/table.h"
+#include "transition/planner.h"
+
+namespace nashdb {
+
+/// Materialized shared-nothing storage: every node of a ClusterConfig
+/// holds real buffers for its fragment replicas, transitions move real
+/// bytes, and scans compute real aggregates. This is the substrate that
+/// verifies the distribution machinery end to end — after any sequence of
+/// fragmentations, replications, and minimal-transfer transitions, every
+/// replica must still be byte-identical to the source table and every
+/// routed scan must return the ground-truth answer.
+class StorageCluster {
+ public:
+  explicit StorageCluster(std::vector<SourceTable> tables);
+
+  /// Loads `config` from scratch (a bootstrap: every replica is copied
+  /// from the source tables). Returns the tuples copied.
+  TupleCount Bootstrap(const ClusterConfig& config);
+
+  /// Transitions the materialized data to `next` following `plan`
+  /// (node-to-node matching from PlanTransition): surviving nodes keep
+  /// the bytes they already hold and copy only what they lack; fresh
+  /// nodes copy everything they need. Returns the tuples actually copied
+  /// from sources, which must equal the plan's priced transfer.
+  TupleCount ApplyTransition(const ClusterConfig& next,
+                             const TransitionPlan& plan);
+
+  /// Executes one routed range scan: each fragment read fetches the
+  /// stored replica bytes on the routed node (failing if the node does
+  /// not hold them) and folds the scan-overlapping part into the
+  /// aggregate.
+  Result<Aggregate> ExecuteScan(const Scan& scan,
+                                const std::vector<FragmentRequest>& requests,
+                                const std::vector<RoutedRead>& routed) const;
+
+  /// Audits every replica on every node against the source tables;
+  /// returns the first corruption found, or OK.
+  Status VerifyAllReplicas() const;
+
+  /// Ground truth for a scan (straight from the source table).
+  Aggregate GroundTruth(const Scan& scan) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Tuples materialized on one node.
+  TupleCount NodeBytes(NodeId node) const;
+
+ private:
+  struct StoredFragment {
+    TableId table;
+    TupleRange range;
+    std::vector<std::int64_t> data;
+  };
+  // One node: fragment replicas keyed by (table, start, end).
+  using NodeStore = std::map<std::tuple<TableId, TupleIndex, TupleIndex>,
+                             StoredFragment>;
+
+  const SourceTable& TableOf(TableId id) const;
+
+  // Fills `store` with the fragments of `config`'s node `m`, reusing
+  // buffers from `previous` where the data is already present; counts
+  // copied tuples into *copied.
+  NodeStore BuildNodeStore(const ClusterConfig& config, NodeId node,
+                           const NodeStore* previous, TupleCount* copied);
+
+  std::vector<SourceTable> tables_;
+  std::vector<NodeStore> nodes_;
+  ClusterConfig current_config_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_STORAGE_STORAGE_CLUSTER_H_

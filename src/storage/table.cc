@@ -1,0 +1,65 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace nashdb {
+namespace {
+
+std::uint64_t Mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Aggregate::Merge(const Aggregate& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+SourceTable::SourceTable(TableId id, TupleCount tuples, std::uint64_t seed)
+    : id_(id), tuples_(tuples), seed_(seed) {}
+
+std::int64_t SourceTable::ValueAt(TupleIndex x) const {
+  NASHDB_DCHECK(x < tuples_);
+  // Small bounded payloads keep range sums far from overflow.
+  const std::uint64_t h =
+      Mix(seed_ ^ (static_cast<std::uint64_t>(id_) << 48) ^ x);
+  return static_cast<std::int64_t>(h % 2001) - 1000;  // in [-1000, 1000]
+}
+
+std::vector<std::int64_t> SourceTable::Materialize(
+    const TupleRange& range) const {
+  NASHDB_CHECK_LE(range.end, tuples_);
+  std::vector<std::int64_t> data;
+  data.reserve(range.size());
+  for (TupleIndex x = range.start; x < range.end; ++x) {
+    data.push_back(ValueAt(x));
+  }
+  return data;
+}
+
+Aggregate SourceTable::AggregateRange(const TupleRange& range) const {
+  NASHDB_CHECK_LE(range.end, tuples_);
+  Aggregate agg;
+  for (TupleIndex x = range.start; x < range.end; ++x) {
+    Aggregate one;
+    one.count = 1;
+    one.sum = one.min = one.max = ValueAt(x);
+    agg.Merge(one);
+  }
+  return agg;
+}
+
+}  // namespace nashdb

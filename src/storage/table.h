@@ -1,0 +1,55 @@
+#ifndef NASHDB_STORAGE_TABLE_H_
+#define NASHDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nashdb {
+
+/// Aggregate over a tuple range: what the simulated OLAP queries compute.
+struct Aggregate {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+
+  /// Merges a partial aggregate (for combining per-fragment results).
+  void Merge(const Aggregate& other);
+
+  friend bool operator==(const Aggregate&, const Aggregate&) = default;
+};
+
+/// A source-of-truth table: the authoritative clustered data that fragment
+/// replicas are copies of. Values are a deterministic function of the
+/// table id, seed, and tuple position, so ground truth for any range is
+/// computable without materializing the table — but replicas materialize
+/// real buffers, so divergence (a broken transition, a stale copy) is
+/// detectable.
+class SourceTable {
+ public:
+  SourceTable(TableId id, TupleCount tuples, std::uint64_t seed);
+
+  TableId id() const { return id_; }
+  TupleCount tuples() const { return tuples_; }
+
+  /// The value of one tuple (pure function of position).
+  std::int64_t ValueAt(TupleIndex x) const;
+
+  /// Materializes the payloads of [range) — what a node copies when it
+  /// stores a fragment replica.
+  std::vector<std::int64_t> Materialize(const TupleRange& range) const;
+
+  /// Ground-truth aggregate over [range).
+  Aggregate AggregateRange(const TupleRange& range) const;
+
+ private:
+  TableId id_;
+  TupleCount tuples_;
+  std::uint64_t seed_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_STORAGE_TABLE_H_

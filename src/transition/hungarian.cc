@@ -1,0 +1,73 @@
+#include "transition/hungarian.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+AssignmentResult SolveAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  NASHDB_CHECK_GT(n, 0u) << "empty cost matrix";
+  for (const auto& row : cost) NASHDB_CHECK_EQ(row.size(), n);
+
+  // Potentials-based Hungarian algorithm (1-indexed internally; index 0 is
+  // a sentinel). u/v are row/column potentials; p[j] is the row matched to
+  // column j; way[j] is the previous column on the augmenting path.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.assignment.resize(n);
+  for (std::size_t j = 1; j <= n; ++j) {
+    result.assignment[p[j] - 1] = j - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    result.total_cost += cost[i][result.assignment[i]];
+  }
+  return result;
+}
+
+}  // namespace nashdb

@@ -1,0 +1,26 @@
+#ifndef NASHDB_TRANSITION_HUNGARIAN_H_
+#define NASHDB_TRANSITION_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace nashdb {
+
+/// Solves the assignment problem: given a square cost matrix
+/// (cost[i][j] = cost of assigning row i to column j), finds the
+/// minimum-total-cost perfect matching using the Kuhn–Munkres (Hungarian)
+/// algorithm with potentials, O(n^3) ([23, 43] in the paper).
+///
+/// Returns `assignment` where assignment[i] is the column matched to row i.
+/// The matrix must be square and non-empty; costs must be finite.
+struct AssignmentResult {
+  std::vector<std::size_t> assignment;
+  double total_cost = 0.0;
+};
+
+AssignmentResult SolveAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_TRANSITION_HUNGARIAN_H_

@@ -1,0 +1,124 @@
+#include "transition/planner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "transition/hungarian.h"
+
+namespace nashdb {
+
+NodeData NodeData::Of(const ClusterConfig& config, NodeId node) {
+  NodeData data;
+  for (FlatFragmentId fid : config.NodeFragments(node)) {
+    const FragmentInfo& f = config.fragment(fid);
+    data.intervals_.push_back(Interval{f.table, f.range});
+  }
+  std::sort(data.intervals_.begin(), data.intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.table != b.table) return a.table < b.table;
+              return a.range.start < b.range.start;
+            });
+  // Coalesce adjacent/overlapping intervals of the same table.
+  std::vector<Interval> merged;
+  for (const Interval& iv : data.intervals_) {
+    if (!merged.empty() && merged.back().table == iv.table &&
+        merged.back().range.end >= iv.range.start) {
+      merged.back().range.end =
+          std::max(merged.back().range.end, iv.range.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  data.intervals_ = std::move(merged);
+  return data;
+}
+
+TupleCount NodeData::TotalTuples() const {
+  TupleCount total = 0;
+  for (const Interval& iv : intervals_) total += iv.range.size();
+  return total;
+}
+
+TupleCount NodeData::TuplesNotIn(const NodeData& other) const {
+  // Both interval lists are sorted by (table, start) and coalesced; sweep
+  // them in tandem, subtracting overlap.
+  TupleCount missing = 0;
+  std::size_t j = 0;
+  for (const Interval& mine : intervals_) {
+    TupleCount overlap = 0;
+    // Advance to intervals of `other` that may overlap `mine`.
+    while (j < other.intervals_.size() &&
+           (other.intervals_[j].table < mine.table ||
+            (other.intervals_[j].table == mine.table &&
+             other.intervals_[j].range.end <= mine.range.start))) {
+      ++j;
+    }
+    for (std::size_t k = j; k < other.intervals_.size(); ++k) {
+      const Interval& theirs = other.intervals_[k];
+      if (theirs.table != mine.table || theirs.range.start >= mine.range.end) {
+        break;
+      }
+      overlap += mine.range.Intersect(theirs.range).size();
+    }
+    missing += mine.range.size() - overlap;
+  }
+  return missing;
+}
+
+TransitionPlan PlanTransition(const ClusterConfig& old_config,
+                              const ClusterConfig& new_config) {
+  const std::size_t n_old = old_config.node_count();
+  const std::size_t n_new = new_config.node_count();
+  TransitionPlan plan;
+  if (n_old == 0 && n_new == 0) return plan;
+
+  const std::size_t n = std::max(n_old, n_new);
+
+  std::vector<NodeData> old_data, new_data;
+  old_data.reserve(n_old);
+  new_data.reserve(n_new);
+  for (NodeId m = 0; m < n_old; ++m) {
+    old_data.push_back(NodeData::Of(old_config, m));
+  }
+  for (NodeId m = 0; m < n_new; ++m) {
+    new_data.push_back(NodeData::Of(new_config, m));
+  }
+
+  // Cost matrix with dummy vertices padding the smaller side (§7):
+  //   real -> dummy : 0 (decommission; no transfer)
+  //   dummy -> real : |Data(new)| (fresh provision; full copy)
+  //   real -> real  : |Data(new) - Data(old)|
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i < n_old && j < n_new) {
+        cost[i][j] =
+            static_cast<double>(new_data[j].TuplesNotIn(old_data[i]));
+      } else if (j < n_new) {
+        cost[i][j] = static_cast<double>(new_data[j].TotalTuples());
+      } else {
+        cost[i][j] = 0.0;  // decommission
+      }
+    }
+  }
+
+  const AssignmentResult matching = SolveAssignment(cost);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = matching.assignment[i];
+    NodeTransition move;
+    move.old_node = i < n_old ? static_cast<NodeId>(i) : kInvalidNode;
+    move.new_node = j < n_new ? static_cast<NodeId>(j) : kInvalidNode;
+    if (move.old_node == kInvalidNode && move.new_node == kInvalidNode) {
+      continue;  // dummy-dummy pairs cannot arise, but be safe
+    }
+    move.transfer_tuples = static_cast<TupleCount>(cost[i][j]);
+    if (move.old_node == kInvalidNode) ++plan.nodes_added;
+    if (move.new_node == kInvalidNode) ++plan.nodes_removed;
+    plan.total_transfer_tuples += move.transfer_tuples;
+    plan.moves.push_back(move);
+  }
+  return plan;
+}
+
+}  // namespace nashdb

@@ -1,0 +1,66 @@
+#ifndef NASHDB_TRANSITION_PLANNER_H_
+#define NASHDB_TRANSITION_PLANNER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "replication/cluster_config.h"
+
+namespace nashdb {
+
+/// The set of tuples materialized on one node: per table, the union of the
+/// ranges of the fragment replicas stored there (within one scheme a node
+/// never stores overlapping ranges of the same table, so this is an
+/// interval set). Used to price node-to-node transitions.
+class NodeData {
+ public:
+  /// Builds the interval set for `node` of `config`.
+  static NodeData Of(const ClusterConfig& config, NodeId node);
+
+  /// Total tuples in this set.
+  TupleCount TotalTuples() const;
+
+  /// Tuples present in `this` but absent from `other`:
+  /// |Data(this) - Data(other)| (paper §7's edge-weight primitive).
+  TupleCount TuplesNotIn(const NodeData& other) const;
+
+  /// Sorted, coalesced intervals per (table, range).
+  struct Interval {
+    TableId table;
+    TupleRange range;
+  };
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+/// One old-node → new-node move in a transition plan.
+struct NodeTransition {
+  /// kInvalidNode means "freshly provisioned" (matched a dummy old vertex).
+  NodeId old_node = kInvalidNode;
+  /// kInvalidNode means "decommissioned" (matched a dummy new vertex).
+  NodeId new_node = kInvalidNode;
+  /// Tuples that must be copied onto the node.
+  TupleCount transfer_tuples = 0;
+};
+
+/// A complete minimal-transfer transition strategy (paper §7): a perfect
+/// matching between old and new cluster nodes.
+struct TransitionPlan {
+  std::vector<NodeTransition> moves;
+  TupleCount total_transfer_tuples = 0;
+  std::size_t nodes_added = 0;
+  std::size_t nodes_removed = 0;
+};
+
+/// Computes the optimal (minimum data transfer) transition from `old_config`
+/// to `new_config` by min-weight perfect matching on the bipartite
+/// old-node/new-node graph, with dummy vertices padding the smaller side
+/// (Kuhn–Munkres, O(max(|V|,|V'|)^3)).
+TransitionPlan PlanTransition(const ClusterConfig& old_config,
+                              const ClusterConfig& new_config);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_TRANSITION_PLANNER_H_

@@ -1,0 +1,97 @@
+#include "value/value_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+ValueProfile ValueProfile::FromSparseChunks(TupleCount table_size,
+                                            std::vector<ValueChunk> chunks) {
+  std::vector<ValueChunk> tiled;
+  tiled.reserve(chunks.size() * 2 + 1);
+  TupleIndex cursor = 0;
+  for (const ValueChunk& c : chunks) {
+    if (c.start >= c.end) continue;
+    NASHDB_CHECK_GE(c.start, cursor) << "chunks must be sorted and disjoint";
+    // Clip to the table.
+    if (c.start >= table_size) break;
+    const TupleIndex end = std::min<TupleIndex>(c.end, table_size);
+    if (c.start > cursor) {
+      tiled.push_back(ValueChunk{cursor, c.start, 0.0});
+    }
+    tiled.push_back(ValueChunk{c.start, end, c.value});
+    cursor = end;
+  }
+  if (cursor < table_size) {
+    tiled.push_back(ValueChunk{cursor, table_size, 0.0});
+  }
+  // Coalesce adjacent chunks with (near-)equal values.
+  std::vector<ValueChunk> out;
+  out.reserve(tiled.size());
+  for (const ValueChunk& c : tiled) {
+    if (!out.empty() && std::abs(out.back().value - c.value) < 1e-15) {
+      out.back().end = c.end;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return ValueProfile(table_size, std::move(out));
+}
+
+ValueProfile ValueProfile::Uniform(TupleCount table_size, Money value) {
+  std::vector<ValueChunk> chunks;
+  if (table_size > 0) chunks.push_back(ValueChunk{0, table_size, value});
+  return ValueProfile(table_size, std::move(chunks));
+}
+
+std::size_t ValueProfile::ChunkIndexOf(TupleIndex x) const {
+  NASHDB_DCHECK(x < table_size_);
+  auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), x,
+      [](TupleIndex v, const ValueChunk& c) { return v < c.end; });
+  NASHDB_DCHECK(it != chunks_.end());
+  return static_cast<std::size_t>(it - chunks_.begin());
+}
+
+Money ValueProfile::ValueAt(TupleIndex x) const {
+  if (x >= table_size_) return 0.0;
+  return chunks_[ChunkIndexOf(x)].value;
+}
+
+Money ValueProfile::TotalValue(const TupleRange& range) const {
+  if (range.empty() || range.start >= table_size_) return 0.0;
+  TupleRange r{range.start, std::min<TupleIndex>(range.end, table_size_)};
+  Money total = 0.0;
+  for (std::size_t i = ChunkIndexOf(r.start); i < chunks_.size(); ++i) {
+    const ValueChunk& c = chunks_[i];
+    if (c.start >= r.end) break;
+    const TupleRange inter = r.Intersect(TupleRange{c.start, c.end});
+    total += c.value * static_cast<Money>(inter.size());
+  }
+  return total;
+}
+
+Money ValueProfile::TotalSquaredValue(const TupleRange& range) const {
+  if (range.empty() || range.start >= table_size_) return 0.0;
+  TupleRange r{range.start, std::min<TupleIndex>(range.end, table_size_)};
+  Money total = 0.0;
+  for (std::size_t i = ChunkIndexOf(r.start); i < chunks_.size(); ++i) {
+    const ValueChunk& c = chunks_[i];
+    if (c.start >= r.end) break;
+    const TupleRange inter = r.Intersect(TupleRange{c.start, c.end});
+    total += c.value * c.value * static_cast<Money>(inter.size());
+  }
+  return total;
+}
+
+Money ValueProfile::GrandTotal() const {
+  Money total = 0.0;
+  for (const ValueChunk& c : chunks_) {
+    total += c.value * static_cast<Money>(c.size());
+  }
+  return total;
+}
+
+}  // namespace nashdb

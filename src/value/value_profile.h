@@ -1,0 +1,70 @@
+#ifndef NASHDB_VALUE_VALUE_PROFILE_H_
+#define NASHDB_VALUE_VALUE_PROFILE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nashdb {
+
+/// One maximal run of adjacent tuples sharing the same estimated value.
+struct ValueChunk {
+  TupleIndex start = 0;
+  TupleIndex end = 0;  // exclusive
+  Money value = 0.0;   // averaged per-tuple value V(x)
+
+  TupleCount size() const { return end - start; }
+
+  friend bool operator==(const ValueChunk&, const ValueChunk&) = default;
+};
+
+/// A materialized piecewise-constant tuple value function V(x) for one
+/// table: an ordered, gap-free, non-overlapping sequence of chunks tiling
+/// [0, table_size). This is the interface between the value estimator and
+/// the fragmentation algorithms — fragmenters iterate chunks rather than
+/// tuples (the Appendix C optimization), so their running time depends on
+/// the number of distinct scan endpoints, not the table cardinality.
+class ValueProfile {
+ public:
+  /// Builds a profile from possibly-sparse `chunks` (sorted, disjoint,
+  /// within [0, table_size)); gaps are filled with zero-valued chunks and
+  /// adjacent equal-valued chunks are coalesced.
+  static ValueProfile FromSparseChunks(TupleCount table_size,
+                                       std::vector<ValueChunk> chunks);
+
+  /// A profile where every tuple has the same value (used by tests and by
+  /// the Naive fragmenter's degenerate cases).
+  static ValueProfile Uniform(TupleCount table_size, Money value);
+
+  TupleCount table_size() const { return table_size_; }
+  const std::vector<ValueChunk>& chunks() const { return chunks_; }
+  bool empty() const { return table_size_ == 0; }
+
+  /// V(x) for one tuple. O(log #chunks).
+  Money ValueAt(TupleIndex x) const;
+
+  /// Sum of V(x) over [range.start, range.end) — the paper's Value(f)
+  /// (Eq. 3) when `range` is a fragment. O(log #chunks + #overlapped).
+  Money TotalValue(const TupleRange& range) const;
+
+  /// Sum of V(x)^2 over the range (used for error computations in tests).
+  Money TotalSquaredValue(const TupleRange& range) const;
+
+  /// Total value of the whole table.
+  Money GrandTotal() const;
+
+  /// Index of the chunk containing tuple x. O(log #chunks).
+  std::size_t ChunkIndexOf(TupleIndex x) const;
+
+ private:
+  ValueProfile(TupleCount table_size, std::vector<ValueChunk> chunks)
+      : table_size_(table_size), chunks_(std::move(chunks)) {}
+
+  TupleCount table_size_ = 0;
+  std::vector<ValueChunk> chunks_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_VALUE_VALUE_PROFILE_H_

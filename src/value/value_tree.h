@@ -1,0 +1,92 @@
+#ifndef NASHDB_VALUE_VALUE_TREE_H_
+#define NASHDB_VALUE_VALUE_TREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+
+namespace nashdb {
+
+/// The tuple value estimation tree of paper §4.2: an augmented,
+/// height-balanced (AVL) binary search tree with one node per *unique* scan
+/// start or end index within the current scan window. Node n stores:
+///
+///   - K(n): the tuple index (the BST key),
+///   - S(n): the summed normalized price (Price(s)/Size(s)) of window scans
+///           that *start* at K(n),
+///   - E(n): the summed normalized price of window scans that *end* at K(n).
+///
+/// The (un-averaged) value of tuple x is sum_{K(n) <= x} S(n) - E(n); the
+/// averaged estimate V(x) divides by the window size |W| (Eq. 2). An
+/// in-order traversal with an accumulator (Algorithm 1) yields the whole
+/// piecewise-constant value function in O(#nodes) time.
+///
+/// Each node is additionally augmented with the subtree sum of
+/// Delta(n) = S(n) - E(n) (the Appendix A quantity), which makes single-point
+/// lookups O(log n) instead of O(n).
+///
+/// The tree does NOT own the scan window; pair it with ScanWindow (or use
+/// TupleValueEstimator, which composes both).
+namespace internal_value {
+struct TreeNode;
+}  // namespace internal_value
+
+class ValueEstimationTree {
+ public:
+  ValueEstimationTree();
+  ~ValueEstimationTree();
+
+  ValueEstimationTree(const ValueEstimationTree&) = delete;
+  ValueEstimationTree& operator=(const ValueEstimationTree&) = delete;
+  ValueEstimationTree(ValueEstimationTree&&) noexcept;
+  ValueEstimationTree& operator=(ValueEstimationTree&&) noexcept;
+
+  /// Records one scan [start, end) with normalized price `np` (that is,
+  /// Price(s)/Size(s)): S at `start` and E at `end` are incremented by `np`,
+  /// creating nodes as needed. O(log n).
+  void AddScan(TupleIndex start, TupleIndex end, Money np);
+
+  /// Removes a previously-added scan: decrements S at `start` and E at
+  /// `end`, deleting any node whose S and E both reach zero. O(log n).
+  /// The (start, end, np) triple must match a prior AddScan.
+  void RemoveScan(TupleIndex start, TupleIndex end, Money np);
+
+  /// Un-averaged cumulative value at tuple x: sum of S(n) - E(n) over all
+  /// nodes with K(n) <= x. Divide by |W| to obtain V(x). O(log n).
+  Money RawValueAt(TupleIndex x) const;
+
+  /// Algorithm 1: walks the tree in order, invoking
+  /// `fn(chunk_start, chunk_end, raw_value)` for each maximal run of tuples
+  /// sharing the same un-averaged value. Chunks with raw_value == 0 before
+  /// the first key and after the last key are not reported. O(#nodes),
+  /// O(height) space.
+  using ChunkFn =
+      std::function<void(TupleIndex start, TupleIndex end, Money raw_value)>;
+  void IterateValues(const ChunkFn& fn) const;
+
+  /// Number of distinct start/end keys currently stored.
+  std::size_t node_count() const { return node_count_; }
+
+  bool empty() const { return node_count_ == 0; }
+
+  /// Approximate heap footprint of the tree in bytes (for the paper's
+  /// §10.1 overhead measurement).
+  std::size_t SizeBytes() const;
+
+  /// Height of the tree (0 for empty); exposed for balance tests.
+  int Height() const;
+
+  /// Validates AVL balance, key ordering, and augmented sums; CHECK-fails
+  /// on violation. Exposed for tests.
+  void CheckInvariants() const;
+
+ private:
+  std::unique_ptr<internal_value::TreeNode> root_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_VALUE_VALUE_TREE_H_

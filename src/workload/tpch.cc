@@ -1,0 +1,194 @@
+#include "workload/tpch.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace nashdb {
+namespace {
+
+// Relative storage weight of each TPC-H table (fraction of total database
+// bytes, approximated from the official cardinalities and row widths).
+struct TableWeight {
+  TpchTable table;
+  const char* name;
+  double weight;
+};
+constexpr std::array<TableWeight, 8> kTableWeights = {{
+    {kLineitem, "lineitem", 0.70},
+    {kOrders, "orders", 0.16},
+    {kPartsupp, "partsupp", 0.08},
+    {kPart, "part", 0.025},
+    {kCustomer, "customer", 0.025},
+    {kSupplier, "supplier", 0.008},
+    {kNation, "nation", 0.001},
+    {kRegion, "region", 0.001},
+}};
+
+// One table access of a template.
+struct Access {
+  TpchTable table;
+  // Fraction of the table read. 1.0 = full scan.
+  double fraction;
+  // True if the scan is positioned by a date parameter (clustered fact
+  // tables); false = scan anchored at offset 0 (dimension scans).
+  bool date_positioned;
+};
+
+// Access patterns of the 22 TPC-H templates: which tables each query
+// touches and how much of each it reads. Fractions approximate the
+// templates' date/selectivity predicates on the date-clustered tables;
+// dimension tables joined without clustered predicates are full scans
+// (range scans fetch whole blocks regardless of later filtering — §2).
+const std::vector<Access>& TemplateAccesses(int t) {
+  static const std::vector<std::vector<Access>> kTemplates = {
+      /*Q1*/ {{kLineitem, 0.97, true}},
+      /*Q2*/
+      {{kPart, 1.0, false},
+       {kSupplier, 1.0, false},
+       {kPartsupp, 1.0, false},
+       {kNation, 1.0, false},
+       {kRegion, 1.0, false}},
+      /*Q3*/
+      {{kCustomer, 1.0, false},
+       {kOrders, 0.48, true},
+       {kLineitem, 0.53, true}},
+      /*Q4*/ {{kOrders, 0.035, true}, {kLineitem, 0.04, true}},
+      /*Q5*/
+      {{kCustomer, 1.0, false},
+       {kOrders, 0.15, true},
+       {kLineitem, 0.16, true},
+       {kSupplier, 1.0, false},
+       {kNation, 1.0, false},
+       {kRegion, 1.0, false}},
+      /*Q6*/ {{kLineitem, 0.15, true}},
+      /*Q7*/
+      {{kSupplier, 1.0, false},
+       {kLineitem, 0.25, true},
+       {kOrders, 0.50, true},
+       {kCustomer, 1.0, false},
+       {kNation, 1.0, false}},
+      /*Q8*/
+      {{kPart, 1.0, false},
+       {kSupplier, 1.0, false},
+       {kLineitem, 0.30, true},
+       {kOrders, 0.30, true},
+       {kCustomer, 1.0, false},
+       {kNation, 1.0, false},
+       {kRegion, 1.0, false}},
+      /*Q9*/
+      {{kPart, 1.0, false},
+       {kSupplier, 1.0, false},
+       {kLineitem, 0.55, true},
+       {kPartsupp, 1.0, false},
+       {kOrders, 0.55, true},
+       {kNation, 1.0, false}},
+      /*Q10*/
+      {{kCustomer, 1.0, false},
+       {kOrders, 0.035, true},
+       {kLineitem, 0.04, true},
+       {kNation, 1.0, false}},
+      /*Q11*/
+      {{kPartsupp, 1.0, false},
+       {kSupplier, 1.0, false},
+       {kNation, 1.0, false}},
+      /*Q12*/ {{kOrders, 0.5, true}, {kLineitem, 0.15, true}},
+      /*Q13*/ {{kCustomer, 1.0, false}, {kOrders, 0.7, true}},
+      /*Q14*/ {{kLineitem, 0.013, true}, {kPart, 1.0, false}},
+      /*Q15*/ {{kSupplier, 1.0, false}, {kLineitem, 0.04, true}},
+      /*Q16*/
+      {{kPartsupp, 1.0, false},
+       {kPart, 1.0, false},
+       {kSupplier, 1.0, false}},
+      /*Q17*/ {{kLineitem, 0.35, true}, {kPart, 0.001, true}},
+      /*Q18*/
+      {{kCustomer, 1.0, false},
+       {kOrders, 0.5, true},
+       {kLineitem, 0.5, true}},
+      /*Q19*/ {{kLineitem, 0.02, true}, {kPart, 0.02, true}},
+      /*Q20*/
+      {{kSupplier, 1.0, false},
+       {kNation, 1.0, false},
+       {kPartsupp, 1.0, false},
+       {kPart, 0.01, true},
+       {kLineitem, 0.15, true}},
+      /*Q21*/
+      {{kSupplier, 1.0, false},
+       {kLineitem, 0.45, true},
+       {kOrders, 0.45, true},
+       {kNation, 1.0, false}},
+      /*Q22*/ {{kCustomer, 0.30, true}, {kOrders, 0.5, true}},
+  };
+  NASHDB_CHECK(t >= 1 && t <= 22);
+  return kTemplates[static_cast<std::size_t>(t - 1)];
+}
+
+// Queries cycle template numbers; template is recoverable from the id.
+constexpr QueryId kTemplateStride = 100;
+
+}  // namespace
+
+Dataset MakeTpchDataset(const TpchOptions& options) {
+  Dataset ds;
+  const double total_tuples =
+      options.db_gb * static_cast<double>(options.tuples_per_gb);
+  for (const TableWeight& tw : kTableWeights) {
+    TableSpec spec;
+    spec.id = tw.table;
+    spec.name = tw.name;
+    spec.tuples = std::max<TupleCount>(
+        8, static_cast<TupleCount>(total_tuples * tw.weight));
+    ds.tables.push_back(spec);
+  }
+  return ds;
+}
+
+Workload MakeTpchWorkload(const TpchOptions& options) {
+  Workload wl;
+  wl.name = "TPC-H";
+  wl.dataset = MakeTpchDataset(options);
+  Rng rng(options.seed);
+
+  for (std::size_t i = 0; i < options.num_queries; ++i) {
+    const int tmpl = static_cast<int>(i % 22) + 1;
+    std::vector<std::pair<TableId, TupleRange>> ranges;
+    for (const Access& a : TemplateAccesses(tmpl)) {
+      const TupleCount n = wl.dataset.TableSize(a.table);
+      TupleCount len = static_cast<TupleCount>(
+          std::ceil(a.fraction * static_cast<double>(n)));
+      if (len == 0) len = 1;
+      if (len > n) len = n;
+      TupleIndex start = 0;
+      if (a.date_positioned && len < n) {
+        // Date parameters favor recent data: bias the window toward the
+        // tail of the date-clustered table (2/3 of instances in the most
+        // recent half).
+        const TupleCount head_room = n - len;
+        if (rng.Bernoulli(2.0 / 3.0)) {
+          start = head_room / 2 + rng.Uniform(head_room / 2 + 1);
+        } else {
+          start = rng.Uniform(head_room + 1);
+        }
+      }
+      ranges.emplace_back(a.table, TupleRange{start, start + len});
+    }
+    const QueryId id =
+        static_cast<QueryId>(i) * kTemplateStride + static_cast<QueryId>(tmpl);
+    TimedQuery tq;
+    tq.query = MakeQuery(id, options.price, ranges);
+    tq.arrival = options.arrival_span_s > 0.0
+                     ? rng.NextDouble() * options.arrival_span_s
+                     : 0.0;
+    wl.queries.push_back(std::move(tq));
+  }
+  wl.SortByArrival();
+  return wl;
+}
+
+int TpchTemplateOf(const Query& query) {
+  return static_cast<int>(query.id % kTemplateStride);
+}
+
+}  // namespace nashdb

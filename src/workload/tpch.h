@@ -1,0 +1,63 @@
+#ifndef NASHDB_WORKLOAD_TPCH_H_
+#define NASHDB_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "workload/workload.h"
+
+namespace nashdb {
+
+/// TPC-H table ids in this model.
+enum TpchTable : TableId {
+  kLineitem = 0,
+  kOrders = 1,
+  kPartsupp = 2,
+  kPart = 3,
+  kCustomer = 4,
+  kSupplier = 5,
+  kNation = 6,
+  kRegion = 7,
+};
+
+struct TpchOptions {
+  /// Database size in GB (the paper uses 1 TB = 1000).
+  double db_gb = 1000.0;
+  /// Simulated tuples per GB.
+  TupleCount tuples_per_gb = kDefaultTuplesPerGb;
+  /// Number of query instances to generate (templates cycle 1..22 with
+  /// randomized parameters).
+  std::size_t num_queries = 220;
+  /// Price assigned to every query (cents). Individual benches override
+  /// per-template prices afterwards (e.g. the Figure 9a experiment).
+  Money price = 0.01;
+  /// If > 0, arrivals are spread uniformly over this many seconds
+  /// (dynamic); if 0, all queries arrive at time zero (static batch).
+  SimTime arrival_span_s = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Builds the TPC-H schema at the given scale. lineitem/orders/... sizes
+/// follow the official per-scale-factor cardinality ratios; lineitem and
+/// orders are clustered by date (so date-range predicates become clustered
+/// range scans, exactly the scans NashDB consumes — §2).
+Dataset MakeTpchDataset(const TpchOptions& options);
+
+/// Generates a workload of all 22 TPC-H query templates with randomized
+/// date-range parameters. Each template reads the tables the real TPC-H
+/// query touches, as full scans for joined dimension tables and as
+/// date-positioned range scans for the date-filtered fact tables.
+///
+/// This substitutes for running the real 22 SQL templates through a DBMS
+/// optimizer: NashDB only ever sees the optimizer's leaf-level range scans
+/// (Figure 1), which is precisely what this generator emits.
+Workload MakeTpchWorkload(const TpchOptions& options);
+
+/// The 1-based TPC-H template number of a generated query (derived from
+/// Query::id). Used by the mixed-priority experiment (Figure 9a) to
+/// reprice one template.
+int TpchTemplateOf(const Query& query);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_WORKLOAD_TPCH_H_

@@ -1,0 +1,36 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+TupleCount Dataset::TableSize(TableId id) const {
+  for (const TableSpec& t : tables) {
+    if (t.id == id) return t.tuples;
+  }
+  NASHDB_CHECK(false) << "unknown table id " << id;
+  return 0;
+}
+
+TupleCount Dataset::TotalTuples() const {
+  TupleCount total = 0;
+  for (const TableSpec& t : tables) total += t.tuples;
+  return total;
+}
+
+TupleCount Workload::TotalTuplesRead() const {
+  TupleCount total = 0;
+  for (const TimedQuery& tq : queries) total += tq.query.TotalTuples();
+  return total;
+}
+
+void Workload::SortByArrival() {
+  std::stable_sort(queries.begin(), queries.end(),
+                   [](const TimedQuery& a, const TimedQuery& b) {
+                     return a.arrival < b.arrival;
+                   });
+}
+
+}  // namespace nashdb

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "cluster/sim.h"
+#include "replication/packer.h"
+#include "transition/planner.h"
+
+namespace nashdb {
+namespace {
+
+ClusterSimOptions Opts() {
+  ClusterSimOptions o;
+  o.tuples_per_second = 1000.0;
+  o.transfer_tuples_per_second = 2000.0;
+  o.span_overhead_s = 0.5;
+  o.node_cost_per_hour = 36.0;  // 0.01 cents per second
+  return o;
+}
+
+ClusterConfig TwoNodeConfig() {
+  ReplicationParams p;
+  p.node_cost = 10.0;
+  p.node_disk = 10000;
+  p.window_scans = 50;
+  FragmentInfo f0;
+  f0.table = 0;
+  f0.range = TupleRange{0, 5000};
+  FragmentInfo f1;
+  f1.table = 0;
+  f1.index_in_table = 1;
+  f1.range = TupleRange{5000, 10000};
+  auto config =
+      BuildConfigFromPlacement(p, {f0, f1}, {{0}, {1}});
+  return std::move(config).value();
+}
+
+TEST(ClusterSimTest, ReadSecondsProportionalToTuples) {
+  ClusterSim sim(Opts());
+  EXPECT_NEAR(sim.ReadSeconds(500), 0.5, 1e-12);
+  EXPECT_NEAR(sim.ReadSeconds(0), 0.0, 1e-12);
+}
+
+TEST(ClusterSimTest, QueueAccumulates) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  EXPECT_EQ(sim.node_count(), 2u);
+  EXPECT_NEAR(sim.WaitSeconds(0, 0.0), 0.0, 1e-12);
+
+  // 1000 tuples -> 1 s; no span overhead.
+  const SimTime d1 = sim.EnqueueRead(0, 1000, 0.0, false);
+  EXPECT_NEAR(d1, 1.0, 1e-12);
+  EXPECT_NEAR(sim.WaitSeconds(0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(sim.WaitSeconds(1, 0.0), 0.0, 1e-12);
+
+  // Second read queues behind the first.
+  const SimTime d2 = sim.EnqueueRead(0, 500, 0.0, false);
+  EXPECT_NEAR(d2, 1.5, 1e-12);
+}
+
+TEST(ClusterSimTest, SpanOverheadChargedOnFirstUse) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  const SimTime d = sim.EnqueueRead(0, 1000, 0.0, true);
+  EXPECT_NEAR(d, 1.5, 1e-12);  // 0.5 s setup + 1 s read
+}
+
+TEST(ClusterSimTest, WaitDecaysWithTime) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  sim.EnqueueRead(0, 2000, 0.0, false);  // busy until t=2
+  EXPECT_NEAR(sim.WaitSeconds(0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(sim.WaitSeconds(0, 2.5), 0.0, 1e-12);
+}
+
+TEST(ClusterSimTest, ReadAfterIdleStartsAtArrival) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  const SimTime d = sim.EnqueueRead(0, 1000, 10.0, false);
+  EXPECT_NEAR(d, 11.0, 1e-12);
+}
+
+TEST(ClusterSimTest, RentAccruesPerNodeHour) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  // 2 nodes * 36 cents/h * 0.5 h = 36 cents.
+  EXPECT_NEAR(sim.AccruedCost(1800.0), 36.0, 1e-9);
+}
+
+TEST(ClusterSimTest, RentFollowsClusterResizes) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  // After one hour, shrink to an empty cluster.
+  ClusterConfig empty;
+  sim.ApplyConfig(empty, 3600.0, nullptr);
+  // 2 node-hours at 36 -> 72; then zero nodes.
+  EXPECT_NEAR(sim.AccruedCost(7200.0), 72.0, 1e-9);
+}
+
+TEST(ClusterSimTest, TransitionChargesTransferIntoQueues) {
+  ClusterSim sim(Opts());
+  ClusterConfig target = TwoNodeConfig();
+  ClusterConfig empty;
+  const TransitionPlan plan = PlanTransition(empty, target);
+  sim.ApplyConfig(target, 0.0, &plan);
+  // Each node ingests 5000 tuples at 2000/s = 2.5 s of queue.
+  EXPECT_NEAR(sim.WaitSeconds(0, 0.0), 2.5, 1e-9);
+  EXPECT_NEAR(sim.WaitSeconds(1, 0.0), 2.5, 1e-9);
+  EXPECT_EQ(sim.TotalTransferredTuples(), 10000u);
+}
+
+TEST(ClusterSimTest, TransitionPreservesSurvivingQueueBacklog) {
+  ClusterSim sim(Opts());
+  ClusterConfig config = TwoNodeConfig();
+  {
+    const TransitionPlan boot = PlanTransition(ClusterConfig(), config);
+    sim.ApplyConfig(config, 0.0, &boot);
+  }
+  // Pile work on node 0 until t=100.
+  sim.EnqueueRead(0, 100000, 0.0, false);
+  const SimTime wait_before = sim.WaitSeconds(0, 10.0);
+  // Identity transition at t=10: no transfer, backlog must survive.
+  const TransitionPlan identity = PlanTransition(config, config);
+  sim.ApplyConfig(config, 10.0, &identity);
+  EXPECT_NEAR(sim.WaitSeconds(0, 10.0), wait_before, 1e-9);
+}
+
+TEST(ClusterSimTest, ReadCounterAccumulates) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  sim.EnqueueRead(0, 123, 0.0, false);
+  sim.EnqueueRead(1, 77, 0.0, false);
+  EXPECT_EQ(sim.TotalReadTuples(), 200u);
+}
+
+}  // namespace
+}  // namespace nashdb

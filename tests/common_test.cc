@@ -1,0 +1,269 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/query.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nashdb {
+namespace {
+
+// ---------------------------------------------------------------- ranges
+
+TEST(TupleRangeTest, SizeAndEmpty) {
+  TupleRange r{10, 25};
+  EXPECT_EQ(r.size(), 15u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((TupleRange{5, 5}).empty());
+}
+
+TEST(TupleRangeTest, ContainsIsHalfOpen) {
+  TupleRange r{10, 20};
+  EXPECT_FALSE(r.Contains(9));
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(19));
+  EXPECT_FALSE(r.Contains(20));
+}
+
+TEST(TupleRangeTest, Overlaps) {
+  TupleRange a{0, 10};
+  EXPECT_TRUE(a.Overlaps(TupleRange{5, 15}));
+  EXPECT_TRUE(a.Overlaps(TupleRange{9, 10}));
+  EXPECT_FALSE(a.Overlaps(TupleRange{10, 20}));  // half-open: touching != overlap
+  EXPECT_FALSE(a.Overlaps(TupleRange{20, 30}));
+}
+
+TEST(TupleRangeTest, Intersect) {
+  TupleRange a{0, 10};
+  EXPECT_EQ(a.Intersect(TupleRange{5, 15}), (TupleRange{5, 10}));
+  EXPECT_TRUE(a.Intersect(TupleRange{12, 15}).empty());
+  EXPECT_EQ(a.Intersect(TupleRange{2, 4}), (TupleRange{2, 4}));
+}
+
+// ---------------------------------------------------------------- status
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad window");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GeometricRespectsCap) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.Geometric(0.05, 10), 10u);
+  }
+}
+
+TEST(RngTest, GeometricMeanRoughlyMatches) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Geometric(0.5, 1000));
+  }
+  // Mean of Geometric(p) counting failures is (1-p)/p = 1.
+  EXPECT_NEAR(sum / n, 1.0, 0.1);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(rng.Gaussian());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(rng.Zipf(100, 1.1), 100u);
+  }
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(23);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t r = rng.Zipf(1000, 1.2);
+    if (r < 10) ++low;
+    if (r >= 500) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(25);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStatTest, MatchesBruteForce) {
+  Rng rng(31);
+  std::vector<double> xs;
+  RunningStat stat;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10.0 - 5.0;
+    xs.push_back(x);
+    stat.Add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  EXPECT_NEAR(stat.mean(), mean, 1e-9);
+  EXPECT_NEAR(stat.unnormalized_variance(), SumSquaredDeviations(xs), 1e-6);
+  EXPECT_EQ(stat.count(), xs.size());
+}
+
+TEST(RunningStatTest, MinMaxSum) {
+  RunningStat stat;
+  for (double x : {3.0, -1.0, 7.0, 2.0}) stat.Add(x);
+  EXPECT_EQ(stat.min(), -1.0);
+  EXPECT_EQ(stat.max(), 7.0);
+  EXPECT_NEAR(stat.sum(), 11.0, 1e-12);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.count(), 0u);
+}
+
+TEST(PercentileTrackerTest, ExactPercentiles) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.Add(static_cast<double>(i));
+  EXPECT_NEAR(t.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(t.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(t.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(t.Percentile(95), 95.05, 0.2);
+}
+
+TEST(PercentileTrackerTest, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_EQ(t.Percentile(50), 0.0);
+}
+
+TEST(PercentileTrackerTest, InsertAfterQuery) {
+  PercentileTracker t;
+  t.Add(5.0);
+  EXPECT_EQ(t.Percentile(50), 5.0);
+  t.Add(1.0);
+  t.Add(9.0);
+  EXPECT_EQ(t.Percentile(50), 5.0);
+  EXPECT_EQ(t.Percentile(0), 1.0);
+}
+
+// --------------------------------------------------------------- queries
+
+TEST(MakeQueryTest, SplitsPriceProportionallyToSize) {
+  // Eq. 1: Price(s_i) = Size(s_i)/sum_j Size(s_j) * Price(q).
+  Query q = MakeQuery(1, 12.0,
+                      {{0, TupleRange{0, 30}}, {1, TupleRange{0, 10}}});
+  ASSERT_EQ(q.scans.size(), 2u);
+  EXPECT_NEAR(q.scans[0].price, 9.0, 1e-12);
+  EXPECT_NEAR(q.scans[1].price, 3.0, 1e-12);
+  EXPECT_NEAR(q.scans[0].price + q.scans[1].price, q.price, 1e-12);
+}
+
+TEST(MakeQueryTest, NormalizedPriceIsPerTuple) {
+  Query q = MakeQuery(2, 6.0, {{0, TupleRange{7, 10}}});
+  ASSERT_EQ(q.scans.size(), 1u);
+  // Paper's Figure 2 example: scan s1 has price 6 over 3 tuples -> 2.
+  EXPECT_NEAR(q.scans[0].NormalizedPrice(), 2.0, 1e-12);
+}
+
+TEST(MakeQueryTest, DropsEmptyRanges) {
+  Query q = MakeQuery(3, 5.0,
+                      {{0, TupleRange{5, 5}}, {0, TupleRange{0, 10}}});
+  ASSERT_EQ(q.scans.size(), 1u);
+  EXPECT_NEAR(q.scans[0].price, 5.0, 1e-12);
+}
+
+TEST(MakeQueryTest, TotalTuples) {
+  Query q = MakeQuery(4, 1.0,
+                      {{0, TupleRange{0, 5}}, {1, TupleRange{10, 25}}});
+  EXPECT_EQ(q.TotalTuples(), 20u);
+}
+
+}  // namespace
+}  // namespace nashdb

@@ -1,0 +1,318 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "replication/cluster_config.h"
+#include "replication/nash.h"
+#include "replication/packer.h"
+#include "replication/replication.h"
+
+namespace nashdb {
+namespace {
+
+ReplicationParams Params(Money cost, TupleCount disk, std::size_t window,
+                         std::size_t min_replicas = 0) {
+  ReplicationParams p;
+  p.node_cost = cost;
+  p.node_disk = disk;
+  p.window_scans = window;
+  p.min_replicas = min_replicas;
+  return p;
+}
+
+FragmentInfo Frag(TableId table, FragmentId idx, TupleIndex a, TupleIndex b,
+                  Money value, std::size_t replicas = 0) {
+  FragmentInfo f;
+  f.table = table;
+  f.index_in_table = idx;
+  f.range = TupleRange{a, b};
+  f.value = value;
+  f.replicas = replicas;
+  return f;
+}
+
+// ---------------------------------------------------------------- Eq. 9
+
+TEST(IdealReplicasTest, MatchesFormula) {
+  // Ideal = floor(|W| * Value * Disk / (Size * Cost)).
+  const auto p = Params(/*cost=*/10.0, /*disk=*/1000, /*window=*/50);
+  // 50 * 2.0 * 1000 / (100 * 10) = 100.
+  EXPECT_EQ(IdealReplicas(2.0, 100, p), 100u);
+  // 50 * 0.5 * 1000 / (400 * 10) = 6.25 -> 6.
+  EXPECT_EQ(IdealReplicas(0.5, 400, p), 6u);
+}
+
+TEST(IdealReplicasTest, ProfitBoundary) {
+  // At Ideal replicas, profit >= 0; at Ideal+1, profit < 0 — the marginal
+  // condition behind Theorem 6.1.
+  Rng rng(3);
+  const auto p = Params(7.0, 5000, 50);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Money value = rng.NextDouble() * 2.0;
+    const TupleCount size = 1 + rng.Uniform(4999);
+    const std::size_t ideal = IdealReplicas(value, size, p);
+    const Money cost = ReplicaCost(size, p);
+    if (ideal > 0) {
+      EXPECT_GE(ReplicaIncome(value, ideal, p) - cost, -1e-9);
+    }
+    EXPECT_LT(ReplicaIncome(value, ideal + 1, p) - cost, 1e-9);
+  }
+}
+
+TEST(IdealReplicasTest, ZeroValueMeansZeroReplicas) {
+  const auto p = Params(10.0, 1000, 50);
+  EXPECT_EQ(IdealReplicas(0.0, 100, p), 0u);
+}
+
+TEST(IdealReplicasTest, MinReplicasFloor) {
+  const auto p = Params(10.0, 1000, 50, /*min_replicas=*/1);
+  EXPECT_EQ(IdealReplicas(0.0, 100, p), 1u);
+}
+
+TEST(IdealReplicasTest, MaxReplicasCap) {
+  auto p = Params(10.0, 1000, 50);
+  p.max_replicas = 5;
+  EXPECT_EQ(IdealReplicas(100.0, 10, p), 5u);
+}
+
+TEST(IdealReplicasTest, CeterisParibusMonotonicity) {
+  // Paper §6: replicas increase with window, value, disk; decrease with
+  // size and node cost.
+  const auto base = Params(10.0, 1000, 50);
+  const std::size_t r0 = IdealReplicas(1.0, 200, base);
+  EXPECT_GE(IdealReplicas(2.0, 200, base), r0);
+  EXPECT_GE(IdealReplicas(1.0, 100, base), r0);
+  EXPECT_LE(IdealReplicas(1.0, 400, base), r0);
+  EXPECT_GE(IdealReplicas(1.0, 200, Params(10.0, 2000, 50)), r0);
+  EXPECT_LE(IdealReplicas(1.0, 200, Params(20.0, 1000, 50)), r0);
+  EXPECT_GE(IdealReplicas(1.0, 200, Params(10.0, 1000, 100)), r0);
+}
+
+TEST(DecideReplicationTest, FillsAllFragments) {
+  const auto p = Params(10.0, 1000, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 100, 2.0),
+                                     Frag(0, 1, 100, 500, 0.5)};
+  DecideReplication(p, &frags);
+  EXPECT_EQ(frags[0].replicas, IdealReplicas(2.0, 100, p));
+  EXPECT_EQ(frags[1].replicas, IdealReplicas(0.5, 400, p));
+}
+
+// ----------------------------------------------------------------- BFFD
+
+TEST(BffdTest, PacksValidConfiguration) {
+  const auto p = Params(10.0, 1000, 50);
+  std::vector<FragmentInfo> frags = {
+      Frag(0, 0, 0, 400, 0.0, 3), Frag(0, 1, 400, 700, 0.0, 2),
+      Frag(0, 2, 700, 1000, 0.0, 1)};
+  auto config = PackReplicasBffd(p, frags);
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->Valid());
+}
+
+TEST(BffdTest, NoNodeHoldsDuplicates) {
+  const auto p = Params(10.0, 500, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 100, 0.0, 10)};
+  auto config = PackReplicasBffd(p, frags);
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->Valid());
+  // 10 replicas of the same fragment need 10 distinct nodes, despite each
+  // node having room for 5 copies.
+  EXPECT_EQ(config->node_count(), 10u);
+}
+
+TEST(BffdTest, RespectsCapacity) {
+  const auto p = Params(10.0, 100, 50);
+  std::vector<FragmentInfo> frags = {
+      Frag(0, 0, 0, 60, 0.0, 1), Frag(0, 1, 60, 120, 0.0, 1),
+      Frag(0, 2, 120, 180, 0.0, 1)};
+  auto config = PackReplicasBffd(p, frags);
+  ASSERT_TRUE(config.ok());
+  for (NodeId m = 0; m < config->node_count(); ++m) {
+    EXPECT_LE(config->NodeUsage(m), 100u);
+  }
+  // 3 * 60 tuples at 100/node: needs >= 2 nodes, first-fit gives 3? No —
+  // 60+60 > 100 so one per node.
+  EXPECT_EQ(config->node_count(), 3u);
+}
+
+TEST(BffdTest, RejectsOversizedFragment) {
+  const auto p = Params(10.0, 100, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 200, 0.0, 1)};
+  auto config = PackReplicasBffd(p, frags);
+  EXPECT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BffdTest, ZeroReplicaFragmentsUnplaced) {
+  const auto p = Params(10.0, 1000, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 100, 0.0, 0),
+                                     Frag(0, 1, 100, 200, 1.0, 2)};
+  auto config = PackReplicasBffd(p, frags);
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->Valid());
+  EXPECT_TRUE(config->FragmentNodes(0).empty());
+  EXPECT_EQ(config->FragmentNodes(1).size(), 2u);
+}
+
+TEST(BffdTest, NodeCountWithinTwiceLowerBound) {
+  // BFFD has approximation factor 2 ([45]); check against the volume
+  // lower bound ceil(total / disk) on random instances (the replica-count
+  // lower bound can exceed the volume bound; take the max).
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p = Params(10.0, 1000, 50);
+    std::vector<FragmentInfo> frags;
+    TupleCount total = 0;
+    std::size_t max_reps = 0;
+    TupleIndex cursor = 0;
+    const int nf = 3 + static_cast<int>(rng.Uniform(10));
+    for (int i = 0; i < nf; ++i) {
+      const TupleCount size = 50 + rng.Uniform(900);
+      const std::size_t reps = 1 + rng.Uniform(6);
+      frags.push_back(Frag(0, static_cast<FragmentId>(i), cursor,
+                           cursor + size, 0.0, reps));
+      cursor += size;
+      total += size * reps;
+      max_reps = std::max(max_reps, reps);
+    }
+    auto config = PackReplicasBffd(p, frags);
+    ASSERT_TRUE(config.ok());
+    EXPECT_TRUE(config->Valid());
+    const std::size_t volume_lb =
+        static_cast<std::size_t>((total + 999) / 1000);
+    const std::size_t lb = std::max(volume_lb, max_reps);
+    EXPECT_LE(config->node_count(), 2 * lb + 1) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------- config & Nash
+
+TEST(ClusterConfigTest, PlaceAndLookup) {
+  const auto p = Params(10.0, 1000, 50);
+  ClusterConfig config(p, {Frag(0, 0, 0, 100, 1.0, 1)});
+  const NodeId n0 = config.AddNode();
+  config.Place(n0, 0);
+  EXPECT_TRUE(config.Holds(n0, 0));
+  EXPECT_EQ(config.NodeUsage(n0), 100u);
+  EXPECT_EQ(config.FragmentNodes(0), (std::vector<NodeId>{n0}));
+  EXPECT_TRUE(config.Valid());
+}
+
+TEST(ClusterConfigTest, CostPerPeriod) {
+  const auto p = Params(12.5, 1000, 50);
+  ClusterConfig config(p, {});
+  config.AddNode();
+  config.AddNode();
+  EXPECT_NEAR(config.CostPerPeriod(), 25.0, 1e-12);
+}
+
+TEST(NashTest, PackedIdealConfigurationIsEquilibrium) {
+  // Theorem 6.1: Eq. 9 replica counts + any placement = Nash equilibrium.
+  Rng rng(88);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p = Params(5.0, 2000, 50);
+    std::vector<FragmentInfo> frags;
+    TupleIndex cursor = 0;
+    const int nf = 2 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < nf; ++i) {
+      const TupleCount size = 100 + rng.Uniform(1900);
+      const Money value = rng.NextDouble() * 3.0;
+      frags.push_back(
+          Frag(0, static_cast<FragmentId>(i), cursor, cursor + size, value));
+      cursor += size;
+    }
+    DecideReplication(p, &frags);
+    auto config = PackReplicasBffd(p, frags);
+    ASSERT_TRUE(config.ok());
+    const NashReport report = CheckNashEquilibrium(*config);
+    EXPECT_TRUE(report.is_equilibrium) << report.violation;
+  }
+}
+
+TEST(NashTest, OverReplicationViolatesCondition1) {
+  const auto p = Params(5.0, 2000, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 1000, 1.0)};
+  DecideReplication(p, &frags);
+  frags[0].replicas += 3;  // manufacture an over-replicated config
+  auto config = PackReplicasBffd(p, frags);
+  ASSERT_TRUE(config.ok());
+  const NashReport report = CheckNashEquilibrium(*config);
+  EXPECT_FALSE(report.is_equilibrium);
+  EXPECT_NE(report.violation.find("condition 1"), std::string::npos);
+}
+
+TEST(NashTest, UnderReplicationViolatesCondition2) {
+  const auto p = Params(5.0, 2000, 50);
+  // Value chosen so profit at the ideal count is strictly positive (the
+  // floor in Eq. 9 is not exact), making under-replication a strict
+  // condition-2 violation.
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 1000, 1.01)};
+  DecideReplication(p, &frags);
+  ASSERT_GT(frags[0].replicas, 1u);
+  frags[0].replicas -= 1;  // leave profit on the table
+  auto config = PackReplicasBffd(p, frags);
+  ASSERT_TRUE(config.ok());
+  const NashReport report = CheckNashEquilibrium(*config);
+  EXPECT_FALSE(report.is_equilibrium);
+  EXPECT_NE(report.violation.find("condition 2"), std::string::npos);
+}
+
+TEST(NashTest, MinReplicaFloorExemption) {
+  // A fragment pinned at 1 replica despite zero value violates pure
+  // equilibrium, but passes when the availability floor is exempted.
+  const auto p = Params(5.0, 2000, 50, /*min_replicas=*/1);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 500, 0.0),
+                                     Frag(0, 1, 500, 1000, 1.0)};
+  DecideReplication(p, &frags);
+  auto config = PackReplicasBffd(p, frags);
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(CheckNashEquilibrium(*config, false).is_equilibrium);
+  const NashReport exempted = CheckNashEquilibrium(*config, true);
+  EXPECT_TRUE(exempted.is_equilibrium) << exempted.violation;
+}
+
+TEST(NashTest, NodeProfitSumsMargins) {
+  const auto p = Params(5.0, 2000, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 1000, 1.0, 2)};
+  ClusterConfig config(p, frags);
+  const NodeId n0 = config.AddNode();
+  const NodeId n1 = config.AddNode();
+  config.Place(n0, 0);
+  config.Place(n1, 0);
+  const Money expect =
+      ReplicaIncome(1.0, 2, p) - ReplicaCost(1000, p);
+  EXPECT_NEAR(NodeProfit(config, n0), expect, 1e-9);
+  EXPECT_NEAR(NodeProfit(config, n1), expect, 1e-9);
+}
+
+TEST(PlacementBuilderTest, BuildsFromExplicitPlan) {
+  const auto p = Params(5.0, 1000, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 300, 1.0),
+                                     Frag(0, 1, 300, 600, 1.0)};
+  std::vector<std::vector<FlatFragmentId>> plan = {{0, 1}, {0}};
+  auto config = BuildConfigFromPlacement(p, frags, plan);
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->Valid());
+  EXPECT_EQ(config->fragment(0).replicas, 2u);
+  EXPECT_EQ(config->fragment(1).replicas, 1u);
+  EXPECT_EQ(config->node_count(), 2u);
+}
+
+TEST(PlacementBuilderTest, RejectsDuplicateOnNode) {
+  const auto p = Params(5.0, 1000, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 300, 1.0)};
+  auto config = BuildConfigFromPlacement(p, frags, {{0, 0}});
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(PlacementBuilderTest, RejectsOverCapacity) {
+  const auto p = Params(5.0, 500, 50);
+  std::vector<FragmentInfo> frags = {Frag(0, 0, 0, 300, 1.0),
+                                     Frag(0, 1, 300, 600, 1.0)};
+  auto config = BuildConfigFromPlacement(p, frags, {{0, 1}});
+  EXPECT_FALSE(config.ok());
+}
+
+}  // namespace
+}  // namespace nashdb

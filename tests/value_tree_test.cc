@@ -1,0 +1,197 @@
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "value/value_tree.h"
+
+namespace nashdb {
+namespace {
+
+// Brute-force reference: cumulative raw value at x is the sum of
+// normalized prices of scans containing x.
+struct RefScan {
+  TupleIndex start, end;
+  Money np;
+};
+
+Money RefValueAt(const std::vector<RefScan>& scans, TupleIndex x) {
+  Money v = 0.0;
+  for (const RefScan& s : scans) {
+    if (x >= s.start && x < s.end) v += s.np;
+  }
+  return v;
+}
+
+TEST(ValueTreeTest, EmptyTree) {
+  ValueEstimationTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.node_count(), 0u);
+  EXPECT_EQ(tree.RawValueAt(5), 0.0);
+  int chunks = 0;
+  tree.IterateValues([&](TupleIndex, TupleIndex, Money) { ++chunks; });
+  EXPECT_EQ(chunks, 0);
+}
+
+// The worked example of paper §4.2 / Figure 2: three scans
+//   s1 = [7, 10) price 6, s2 = [4, 10) price 3, s3 = [0, 5) price 5
+// over a window of |W| = 3.
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tree_.AddScan(7, 10, 6.0 / 3.0);   // s1: price 6, size 3
+    tree_.AddScan(4, 10, 3.0 / 6.0);   // s2: price 3, size 6
+    tree_.AddScan(0, 5, 5.0 / 5.0);    // s3: price 5, size 5
+  }
+  ValueEstimationTree tree_;
+};
+
+TEST_F(PaperExampleTest, NodeCountMatchesUniqueEndpoints) {
+  // Keys: 0, 4, 5, 7, 10.
+  EXPECT_EQ(tree_.node_count(), 5u);
+}
+
+TEST_F(PaperExampleTest, RawValuesMatchFigure2) {
+  // Figure 2 annotates raw (un-averaged) tuple values 1, 1.5, .5, 2.5, 0.
+  EXPECT_NEAR(tree_.RawValueAt(0), 1.0, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(3), 1.0, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(4), 1.5, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(5), 0.5, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(6), 0.5, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(7), 2.5, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(9), 2.5, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(10), 0.0, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(1000), 0.0, 1e-12);
+}
+
+TEST_F(PaperExampleTest, IterateValuesWalksAlgorithm1) {
+  // Expected chunks (start, end, raw): (0,4,1), (4,5,1.5), (5,7,0.5),
+  // (7,10,2.5). Averaged by |W|=3 in the paper's walkthrough.
+  std::vector<std::tuple<TupleIndex, TupleIndex, Money>> chunks;
+  tree_.IterateValues([&](TupleIndex s, TupleIndex e, Money v) {
+    chunks.emplace_back(s, e, v);
+  });
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(std::get<0>(chunks[0]), 0u);
+  EXPECT_EQ(std::get<1>(chunks[0]), 4u);
+  EXPECT_NEAR(std::get<2>(chunks[0]), 1.0, 1e-12);
+  EXPECT_NEAR(std::get<2>(chunks[1]), 1.5, 1e-12);
+  EXPECT_NEAR(std::get<2>(chunks[2]), 0.5, 1e-12);
+  EXPECT_EQ(std::get<0>(chunks[3]), 7u);
+  EXPECT_EQ(std::get<1>(chunks[3]), 10u);
+  EXPECT_NEAR(std::get<2>(chunks[3]), 2.5, 1e-12);
+}
+
+TEST_F(PaperExampleTest, RemovingScansRestoresEmptyTree) {
+  tree_.RemoveScan(7, 10, 6.0 / 3.0);
+  tree_.RemoveScan(4, 10, 3.0 / 6.0);
+  tree_.RemoveScan(0, 5, 5.0 / 5.0);
+  EXPECT_TRUE(tree_.empty());
+  EXPECT_EQ(tree_.RawValueAt(8), 0.0);
+}
+
+TEST_F(PaperExampleTest, PartialRemovalKeepsSharedEndpoints) {
+  // s1 and s2 share endpoint 10; removing s1 must keep the node alive.
+  tree_.RemoveScan(7, 10, 6.0 / 3.0);
+  EXPECT_NEAR(tree_.RawValueAt(8), 0.5, 1e-12);
+  EXPECT_NEAR(tree_.RawValueAt(4), 1.5, 1e-12);
+  tree_.CheckInvariants();
+}
+
+TEST_F(PaperExampleTest, InvariantsHold) { tree_.CheckInvariants(); }
+
+TEST(ValueTreeTest, OverlappingScansAtSameKeyAccumulate) {
+  ValueEstimationTree tree;
+  tree.AddScan(5, 10, 1.0);
+  tree.AddScan(5, 10, 2.5);
+  EXPECT_EQ(tree.node_count(), 2u);
+  EXPECT_NEAR(tree.RawValueAt(7), 3.5, 1e-12);
+  tree.RemoveScan(5, 10, 1.0);
+  EXPECT_NEAR(tree.RawValueAt(7), 2.5, 1e-12);
+  EXPECT_EQ(tree.node_count(), 2u);
+}
+
+TEST(ValueTreeTest, HeightStaysLogarithmic) {
+  ValueEstimationTree tree;
+  // Sorted insertion — the adversarial case for an unbalanced BST.
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    tree.AddScan(static_cast<TupleIndex>(2 * i),
+                 static_cast<TupleIndex>(2 * i + 1), 1.0);
+  }
+  tree.CheckInvariants();
+  // AVL height bound: ~1.44 log2(n). Node count is 2n.
+  EXPECT_LE(tree.Height(), static_cast<int>(1.45 * std::log2(2.0 * n)) + 2);
+}
+
+TEST(ValueTreeTest, SizeBytesGrowsWithNodes) {
+  ValueEstimationTree tree;
+  const std::size_t empty = tree.SizeBytes();
+  tree.AddScan(0, 10, 1.0);
+  EXPECT_GT(tree.SizeBytes(), empty);
+}
+
+TEST(ValueTreeTest, RandomizedAgainstBruteForce) {
+  Rng rng(99);
+  ValueEstimationTree tree;
+  std::vector<RefScan> live;
+
+  for (int round = 0; round < 2000; ++round) {
+    const bool remove = !live.empty() && rng.Bernoulli(0.4);
+    if (remove) {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.Uniform(live.size()));
+      tree.RemoveScan(live[i].start, live[i].end, live[i].np);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      TupleIndex a = rng.Uniform(200);
+      TupleIndex b = a + 1 + rng.Uniform(50);
+      const Money np = 0.25 * static_cast<Money>(1 + rng.Uniform(8));
+      tree.AddScan(a, b, np);
+      live.push_back(RefScan{a, b, np});
+    }
+    if (round % 100 == 0) {
+      tree.CheckInvariants();
+      for (TupleIndex x = 0; x < 260; x += 7) {
+        EXPECT_NEAR(tree.RawValueAt(x), RefValueAt(live, x), 1e-9)
+            << "x=" << x << " round=" << round;
+      }
+    }
+  }
+  tree.CheckInvariants();
+}
+
+TEST(ValueTreeTest, IterateValuesTilesCoveredRegion) {
+  Rng rng(123);
+  ValueEstimationTree tree;
+  std::vector<RefScan> live;
+  for (int i = 0; i < 100; ++i) {
+    TupleIndex a = rng.Uniform(1000);
+    TupleIndex b = a + 1 + rng.Uniform(300);
+    const Money np = 1.0;
+    tree.AddScan(a, b, np);
+    live.push_back(RefScan{a, b, np});
+  }
+  // Chunks must be in order, non-overlapping, and agree with brute force.
+  TupleIndex last_end = 0;
+  tree.IterateValues([&](TupleIndex s, TupleIndex e, Money v) {
+    EXPECT_LT(s, e);
+    EXPECT_GE(s, last_end);
+    last_end = e;
+    EXPECT_NEAR(v, RefValueAt(live, s), 1e-9);
+    EXPECT_NEAR(v, RefValueAt(live, e - 1), 1e-9);
+  });
+}
+
+TEST(ValueTreeTest, MoveConstruction) {
+  ValueEstimationTree a;
+  a.AddScan(0, 10, 2.0);
+  ValueEstimationTree b(std::move(a));
+  EXPECT_NEAR(b.RawValueAt(5), 2.0, 1e-12);
+  EXPECT_EQ(b.node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace nashdb

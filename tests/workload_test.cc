@@ -1,0 +1,304 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+#include "workload/tpch.h"
+#include "workload/workload.h"
+
+namespace nashdb {
+namespace {
+
+void ExpectScansInBounds(const Workload& wl) {
+  std::map<TableId, TupleCount> sizes;
+  for (const TableSpec& t : wl.dataset.tables) sizes[t.id] = t.tuples;
+  for (const TimedQuery& tq : wl.queries) {
+    for (const Scan& s : tq.query.scans) {
+      ASSERT_TRUE(sizes.count(s.table));
+      EXPECT_LT(s.range.start, s.range.end);
+      EXPECT_LE(s.range.end, sizes[s.table]);
+    }
+  }
+}
+
+void ExpectArrivalsSorted(const Workload& wl) {
+  for (std::size_t i = 1; i < wl.queries.size(); ++i) {
+    EXPECT_LE(wl.queries[i - 1].arrival, wl.queries[i].arrival);
+  }
+}
+
+// ------------------------------------------------------------------ TPC-H
+
+TEST(TpchTest, DatasetScalesWithDbSize) {
+  TpchOptions small;
+  small.db_gb = 10.0;
+  TpchOptions big;
+  big.db_gb = 100.0;
+  const Dataset ds_small = MakeTpchDataset(small);
+  const Dataset ds_big = MakeTpchDataset(big);
+  EXPECT_EQ(ds_small.tables.size(), 8u);
+  EXPECT_NEAR(static_cast<double>(ds_big.TotalTuples()) /
+                  static_cast<double>(ds_small.TotalTuples()),
+              10.0, 0.5);
+}
+
+TEST(TpchTest, LineitemIsLargestTable) {
+  const Dataset ds = MakeTpchDataset(TpchOptions{});
+  const TupleCount li = ds.TableSize(kLineitem);
+  for (const TableSpec& t : ds.tables) {
+    EXPECT_LE(t.tuples, li);
+  }
+}
+
+TEST(TpchTest, GeneratesRequestedQueryCount) {
+  TpchOptions opts;
+  opts.db_gb = 10.0;
+  opts.num_queries = 44;
+  const Workload wl = MakeTpchWorkload(opts);
+  EXPECT_EQ(wl.queries.size(), 44u);
+  ExpectScansInBounds(wl);
+}
+
+TEST(TpchTest, TemplatesCycleAndAreRecoverable) {
+  TpchOptions opts;
+  opts.db_gb = 10.0;
+  opts.num_queries = 44;
+  const Workload wl = MakeTpchWorkload(opts);
+  std::map<int, int> count;
+  for (const TimedQuery& tq : wl.queries) {
+    const int tmpl = TpchTemplateOf(tq.query);
+    EXPECT_GE(tmpl, 1);
+    EXPECT_LE(tmpl, 22);
+    ++count[tmpl];
+  }
+  EXPECT_EQ(count.size(), 22u);
+  for (const auto& [tmpl, c] : count) {
+    (void)tmpl;
+    EXPECT_EQ(c, 2);
+  }
+}
+
+TEST(TpchTest, StaticBatchArrivesAtZero) {
+  TpchOptions opts;
+  opts.db_gb = 10.0;
+  const Workload wl = MakeTpchWorkload(opts);
+  for (const TimedQuery& tq : wl.queries) {
+    EXPECT_EQ(tq.arrival, 0.0);
+  }
+}
+
+TEST(TpchTest, DynamicArrivalsSpread) {
+  TpchOptions opts;
+  opts.db_gb = 10.0;
+  opts.arrival_span_s = 1000.0;
+  const Workload wl = MakeTpchWorkload(opts);
+  ExpectArrivalsSorted(wl);
+  EXPECT_GT(wl.queries.back().arrival, 0.0);
+  EXPECT_LE(wl.queries.back().arrival, 1000.0);
+}
+
+TEST(TpchTest, PricesSplitPerEq1) {
+  TpchOptions opts;
+  opts.db_gb = 10.0;
+  opts.price = 0.08;
+  const Workload wl = MakeTpchWorkload(opts);
+  for (const TimedQuery& tq : wl.queries) {
+    Money total = 0.0;
+    for (const Scan& s : tq.query.scans) total += s.price;
+    EXPECT_NEAR(total, 0.08, 1e-9);
+  }
+}
+
+TEST(TpchTest, DeterministicForSeed) {
+  TpchOptions opts;
+  opts.db_gb = 10.0;
+  const Workload a = MakeTpchWorkload(opts);
+  const Workload b = MakeTpchWorkload(opts);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (std::size_t i = 0; i < a.queries.size(); ++i) {
+    ASSERT_EQ(a.queries[i].query.scans.size(),
+              b.queries[i].query.scans.size());
+    for (std::size_t s = 0; s < a.queries[i].query.scans.size(); ++s) {
+      EXPECT_EQ(a.queries[i].query.scans[s].range,
+                b.queries[i].query.scans[s].range);
+    }
+  }
+}
+
+// -------------------------------------------------------------- Bernoulli
+
+TEST(BernoulliTest, AllScansEndAtLastTuple) {
+  BernoulliOptions opts;
+  opts.db_gb = 50.0;
+  opts.num_queries = 200;
+  const Workload wl = MakeBernoulliWorkload(opts);
+  const TupleCount n = wl.dataset.tables[0].tuples;
+  for (const TimedQuery& tq : wl.queries) {
+    ASSERT_EQ(tq.query.scans.size(), 1u);
+    EXPECT_EQ(tq.query.scans[0].range.end, n);
+  }
+  ExpectScansInBounds(wl);
+}
+
+TEST(BernoulliTest, AccessDecaysGeometrically) {
+  BernoulliOptions opts;
+  opts.db_gb = 50.0;
+  opts.num_queries = 4000;
+  const Workload wl = MakeBernoulliWorkload(opts);
+  const TupleCount n = wl.dataset.tables[0].tuples;
+  const TupleCount gb = opts.tuples_per_gb;
+  // Count queries reaching at least 2 GB and at least 10 GB back.
+  int reach2 = 0, reach10 = 0;
+  for (const TimedQuery& tq : wl.queries) {
+    const TupleCount depth = n - tq.query.scans[0].range.start;
+    if (depth >= 2 * gb) ++reach2;
+    if (depth >= 10 * gb) ++reach10;
+  }
+  const double f2 = static_cast<double>(reach2) / 4000.0;
+  const double f10 = static_cast<double>(reach10) / 4000.0;
+  // Expected ~0.95^1 = .95 and ~0.95^9 = .63 (reach k GB requires k-1
+  // continuation successes beyond the first).
+  EXPECT_NEAR(f2, 0.95, 0.05);
+  EXPECT_NEAR(f10, 0.63, 0.07);
+  EXPECT_GT(f2, f10);
+}
+
+// ----------------------------------------------------------------- Random
+
+TEST(RandomWorkloadTest, UniformRangesWithinTable) {
+  RandomWorkloadOptions opts;
+  opts.db_gb = 50.0;
+  opts.num_queries = 300;
+  const Workload wl = MakeRandomWorkload(opts);
+  EXPECT_EQ(wl.queries.size(), 300u);
+  ExpectScansInBounds(wl);
+  ExpectArrivalsSorted(wl);
+  EXPECT_LE(wl.queries.back().arrival, opts.span_s);
+}
+
+TEST(RandomWorkloadTest, CoversWholeTableRoughly) {
+  RandomWorkloadOptions opts;
+  opts.db_gb = 50.0;
+  opts.num_queries = 500;
+  const Workload wl = MakeRandomWorkload(opts);
+  const TupleCount n = wl.dataset.tables[0].tuples;
+  int in_first_half = 0, in_second_half = 0;
+  for (const TimedQuery& tq : wl.queries) {
+    const TupleIndex mid = tq.query.scans[0].range.start / 2 +
+                           tq.query.scans[0].range.end / 2;
+    (mid < n / 2 ? in_first_half : in_second_half)++;
+  }
+  EXPECT_GT(in_first_half, 100);
+  EXPECT_GT(in_second_half, 100);
+}
+
+// ------------------------------------------------------------- real data
+
+TEST(RealData1StaticTest, MatchesTable1Statistics) {
+  RealData1StaticOptions opts;
+  const Workload wl = MakeRealData1StaticWorkload(opts);
+  EXPECT_EQ(wl.queries.size(), 1000u);
+  ExpectScansInBounds(wl);
+  const TupleCount n = wl.dataset.tables[0].tuples;
+  // Median read ~600 GB of 800 GB (75%); min >= 5 GB.
+  std::vector<TupleCount> reads;
+  for (const TimedQuery& tq : wl.queries) {
+    reads.push_back(tq.query.TotalTuples());
+  }
+  std::sort(reads.begin(), reads.end());
+  const double median_frac =
+      static_cast<double>(reads[reads.size() / 2]) / static_cast<double>(n);
+  EXPECT_NEAR(median_frac, 0.75, 0.15);
+  EXPECT_GE(reads.front(), 5u * opts.tuples_per_gb);
+  // Batch: all arrivals at zero.
+  for (const TimedQuery& tq : wl.queries) EXPECT_EQ(tq.arrival, 0.0);
+}
+
+TEST(RealData1DynamicTest, MatchesTable1Statistics) {
+  RealData1DynamicOptions opts;
+  const Workload wl = MakeRealData1DynamicWorkload(opts);
+  EXPECT_EQ(wl.queries.size(), 1220u);
+  ExpectScansInBounds(wl);
+  ExpectArrivalsSorted(wl);
+  EXPECT_LE(wl.queries.back().arrival, opts.span_s);
+  const TupleCount n = wl.dataset.tables[0].tuples;
+  std::vector<TupleCount> reads;
+  for (const TimedQuery& tq : wl.queries) {
+    reads.push_back(tq.query.TotalTuples());
+  }
+  std::sort(reads.begin(), reads.end());
+  const double median_frac =
+      static_cast<double>(reads[reads.size() / 2]) / static_cast<double>(n);
+  EXPECT_NEAR(median_frac, 50.0 / 300.0, 0.08);
+}
+
+TEST(RealData1DynamicTest, HotSpotDrifts) {
+  RealData1DynamicOptions opts;
+  const Workload wl = MakeRealData1DynamicWorkload(opts);
+  // Mean scan center early vs late must move forward.
+  double early = 0.0, late = 0.0;
+  int n_early = 0, n_late = 0;
+  for (const TimedQuery& tq : wl.queries) {
+    const auto& r = tq.query.scans[0].range;
+    const double center =
+        0.5 * static_cast<double>(r.start + r.end) /
+        static_cast<double>(wl.dataset.tables[0].tuples);
+    if (tq.arrival < opts.span_s * 0.25) {
+      early += center;
+      ++n_early;
+    } else if (tq.arrival > opts.span_s * 0.75) {
+      late += center;
+      ++n_late;
+    }
+  }
+  ASSERT_GT(n_early, 10);
+  ASSERT_GT(n_late, 10);
+  EXPECT_GT(late / n_late, early / n_early + 0.1);
+}
+
+TEST(RealData2DynamicTest, BimodalReads) {
+  RealData2DynamicOptions opts;
+  const Workload wl = MakeRealData2DynamicWorkload(opts);
+  EXPECT_EQ(wl.queries.size(), 2500u);
+  ExpectScansInBounds(wl);
+  ExpectArrivalsSorted(wl);
+  int tiny = 0, large = 0;
+  const TupleCount n = wl.dataset.tables[0].tuples;
+  for (const TimedQuery& tq : wl.queries) {
+    const TupleCount read = tq.query.TotalTuples();
+    if (read <= 8) ++tiny;
+    if (read >= n / 20) ++large;  // >= 5% of the table
+  }
+  EXPECT_GT(tiny, 500);
+  EXPECT_GT(large, 500);
+}
+
+// ---------------------------------------------------------------- helpers
+
+TEST(WorkloadTest, TotalTuplesRead) {
+  Workload wl;
+  wl.name = "t";
+  TimedQuery tq;
+  tq.query = MakeQuery(0, 1.0, {{0, TupleRange{0, 10}}});
+  wl.queries.push_back(tq);
+  tq.query = MakeQuery(1, 1.0, {{0, TupleRange{5, 25}}});
+  wl.queries.push_back(tq);
+  EXPECT_EQ(wl.TotalTuplesRead(), 30u);
+}
+
+TEST(WorkloadTest, SortByArrivalIsStable) {
+  Workload wl;
+  for (int i = 0; i < 5; ++i) {
+    TimedQuery tq;
+    tq.arrival = static_cast<SimTime>(4 - i);
+    tq.query.id = static_cast<QueryId>(i);
+    wl.queries.push_back(tq);
+  }
+  wl.SortByArrival();
+  ExpectArrivalsSorted(wl);
+  EXPECT_EQ(wl.queries.front().query.id, 4u);
+}
+
+}  // namespace
+}  // namespace nashdb

@@ -1,0 +1,267 @@
+// nashdb_sim — run any workload x system x router combination on the
+// simulated elastic cluster and report latency / cost / transfer metrics.
+//
+// Examples:
+//   nashdb_sim --workload=bernoulli --system=nashdb --price=4
+//   nashdb_sim --workload=real2 --system=threshold --nodes=24
+//   nashdb_sim --workload=tpch --system=hypergraph --nodes=16 \
+//              --router=greedysc --scale=0.25
+//   nashdb_sim --workload=real1 --system=nashdb --adaptive
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "nashdb/nashdb.h"
+
+namespace {
+
+using namespace nashdb;
+
+struct Flags {
+  std::string workload = "tpch";
+  std::string system = "nashdb";
+  std::string router = "maxofmins";
+  double scale = 0.25;
+  Money price = 1.0;
+  std::size_t nodes = 16;           // baselines' fixed cluster size
+  std::size_t window = 250;         // |W|
+  Money node_cost = -1.0;           // rent per period (-1 = calibrate)
+  TupleCount node_disk = 120'000;   // tuples per node
+  TupleCount block = 4'000;         // average fragment size
+  std::size_t max_replicas = 128;
+  double interval_s = 3600.0;       // reconfiguration interval
+  bool adaptive = false;
+  bool help = false;
+};
+
+void PrintHelp() {
+  std::printf(
+      "nashdb_sim: simulate a data-distribution system on a workload\n\n"
+      "  --workload=tpch|bernoulli|random|real1|real2|real1-static\n"
+      "  --system=nashdb|threshold|hypergraph\n"
+      "  --router=maxofmins|shortestqueue|greedysc|power2\n"
+      "  --scale=F          workload scale factor (default 0.25)\n"
+      "  --price=F          uniform query price for nashdb (default 1)\n"
+      "  --nodes=N          fixed cluster size for baselines (default 16)\n"
+      "  --window=N         scan window |W| (default 250)\n"
+      "  --node-cost=F      rent per period (default: calibrated to the\n"
+      "                     window turnover; see DESIGN.md 4c)\n"
+      "  --node-disk=N      tuples per node (default 120000)\n"
+      "  --block=N          average fragment tuples (default 4000)\n"
+      "  --max-replicas=N   replica cap (default 128)\n"
+      "  --interval=SECONDS reconfiguration interval (default 3600)\n"
+      "  --adaptive         adaptive transition detection\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    std::string v;
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      f.help = true;
+    } else if (std::strcmp(a, "--adaptive") == 0) {
+      f.adaptive = true;
+    } else if (ParseFlag(a, "--workload", &f.workload) ||
+               ParseFlag(a, "--system", &f.system) ||
+               ParseFlag(a, "--router", &f.router)) {
+    } else if (ParseFlag(a, "--scale", &v)) {
+      f.scale = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--price", &v)) {
+      f.price = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--nodes", &v)) {
+      f.nodes = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--window", &v)) {
+      f.window = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--node-cost", &v)) {
+      f.node_cost = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--node-disk", &v)) {
+      f.node_disk = static_cast<TupleCount>(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--block", &v)) {
+      f.block = static_cast<TupleCount>(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--max-replicas", &v)) {
+      f.max_replicas = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--interval", &v)) {
+      f.interval_s = std::atof(v.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", a);
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+Workload BuildWorkload(const Flags& f) {
+  const TupleCount tpg = 1000;  // 1 simulated tuple = 1 MB
+  if (f.workload == "tpch") {
+    TpchOptions o;
+    o.db_gb = 1000.0 * f.scale;
+    o.tuples_per_gb = tpg;
+    o.num_queries = static_cast<std::size_t>(220 * f.scale) + 10;
+    o.price = f.price;
+    o.arrival_span_s = 24.0 * 3600.0;
+    return MakeTpchWorkload(o);
+  }
+  if (f.workload == "bernoulli") {
+    BernoulliOptions o;
+    o.db_gb = 1000.0 * f.scale;
+    o.tuples_per_gb = tpg;
+    o.num_queries = static_cast<std::size_t>(500 * f.scale) + 10;
+    o.price = f.price;
+    o.arrival_span_s = 24.0 * 3600.0;
+    return MakeBernoulliWorkload(o);
+  }
+  if (f.workload == "random") {
+    RandomWorkloadOptions o;
+    o.db_gb = 1000.0 * f.scale;
+    o.tuples_per_gb = tpg;
+    o.num_queries = static_cast<std::size_t>(2000 * f.scale) + 10;
+    o.price = f.price;
+    return MakeRandomWorkload(o);
+  }
+  if (f.workload == "real1") {
+    RealData1DynamicOptions o;
+    o.db_gb = 300.0 * f.scale;
+    o.tuples_per_gb = tpg;
+    o.num_queries = static_cast<std::size_t>(1220 * f.scale) + 10;
+    o.price = f.price;
+    return MakeRealData1DynamicWorkload(o);
+  }
+  if (f.workload == "real2") {
+    RealData2DynamicOptions o;
+    o.db_gb = 3000.0 * f.scale;
+    o.tuples_per_gb = tpg;
+    o.num_queries = static_cast<std::size_t>(2500 * f.scale) + 10;
+    o.price = f.price;
+    return MakeRealData2DynamicWorkload(o);
+  }
+  if (f.workload == "real1-static") {
+    RealData1StaticOptions o;
+    o.db_gb = 800.0 * f.scale;
+    o.tuples_per_gb = tpg;
+    o.num_queries = static_cast<std::size_t>(1000 * f.scale) + 10;
+    o.price = f.price;
+    return MakeRealData1StaticWorkload(o);
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", f.workload.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<DistributionSystem> BuildSystem(const Flags& f,
+                                                const Dataset& dataset) {
+  if (f.system == "nashdb") {
+    NashDbOptions o;
+    o.window_scans = f.window;
+    o.block_tuples = f.block;
+    o.node_cost = f.node_cost;
+    o.node_disk = f.node_disk;
+    o.max_replicas = f.max_replicas;
+    return std::make_unique<NashDbSystem>(dataset, o);
+  }
+  if (f.system == "threshold") {
+    ThresholdOptions o;
+    o.window_scans = f.window;
+    o.num_nodes = f.nodes;
+    o.node_disk = f.node_disk;
+    o.node_cost = f.node_cost;
+    o.cold_block_tuples = f.block * 4;
+    return std::make_unique<ThresholdSystem>(dataset, o);
+  }
+  if (f.system == "hypergraph") {
+    HypergraphSystemOptions o;
+    o.window_scans = f.window;
+    o.num_partitions = f.nodes;
+    o.node_disk = f.node_disk;
+    o.node_cost = f.node_cost;
+    return std::make_unique<HypergraphSystem>(dataset, o);
+  }
+  std::fprintf(stderr, "unknown system: %s\n", f.system.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<ScanRouter> BuildRouter(const Flags& f) {
+  if (f.router == "maxofmins") return std::make_unique<MaxOfMinsRouter>();
+  if (f.router == "shortestqueue") {
+    return std::make_unique<ShortestQueueRouter>();
+  }
+  if (f.router == "greedysc") return std::make_unique<GreedyScRouter>();
+  if (f.router == "power2") return std::make_unique<PowerOfTwoRouter>();
+  std::fprintf(stderr, "unknown router: %s\n", f.router.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  if (flags.help) {
+    PrintHelp();
+    return 0;
+  }
+
+  Workload wl = BuildWorkload(flags);
+  Flags flags_resolved = flags;
+  if (flags.node_cost < 0.0) {
+    // Calibrate rent to the window turnover (DESIGN.md 4c); fall back to
+    // 3.0 for batch workloads with no time extent.
+    nashdb::bench::NamedWorkload nw{wl.name, wl, false};
+    const auto econ =
+        nashdb::bench::CalibratedEconomics(nw, flags.window, 1.0, 3.0);
+    flags_resolved.node_cost = econ.node_cost;
+    std::printf("calibrated node_cost = %.2f cents/period\n",
+                flags_resolved.node_cost);
+  }
+  const Flags& f = flags_resolved;
+  auto system = BuildSystem(f, wl.dataset);
+  auto router = BuildRouter(f);
+
+  DriverOptions d;
+  d.sim.tuples_per_second = 150.0;
+  d.sim.transfer_tuples_per_second = 500.0;
+  d.sim.node_cost_per_hour = 1.0;
+  d.reconfigure_interval_s = f.interval_s;
+  d.adaptive_reconfigure = f.adaptive;
+  d.prewarm_scans = f.window;
+  const bool is_static = wl.queries.empty() || wl.queries.back().arrival == 0.0;
+  d.warmup_observe = is_static;
+  d.periodic_reconfigure = !is_static;
+
+  const RunResult r = RunWorkload(wl, system.get(), router.get(), d);
+
+  std::printf("workload           : %s (%zu queries, %lu tuples)\n",
+              wl.name.c_str(), wl.queries.size(),
+              static_cast<unsigned long>(wl.dataset.TotalTuples()));
+  std::printf("system / router    : %s / %s\n", f.system.c_str(),
+              f.router.c_str());
+  std::printf("mean latency       : %10.1f s\n", r.MeanLatency());
+  std::printf("p50 / p95 / p99    : %10.1f / %.1f / %.1f s\n",
+              r.TailLatency(50), r.TailLatency(95), r.TailLatency(99));
+  std::printf("mean query span    : %10.2f nodes\n", r.MeanSpan());
+  std::printf("total cost         : %10.1f cents\n", r.total_cost);
+  std::printf("final cluster size : %10zu nodes\n", r.final_nodes);
+  std::printf("transitions        : %10zu (+%zu skipped)\n", r.transitions,
+              r.transitions_skipped);
+  std::printf("data moved         : %10.1f GB (bootstrap %.1f GB)\n",
+              static_cast<double>(r.transferred_tuples) / 1000.0,
+              static_cast<double>(r.bootstrap_transfer_tuples) / 1000.0);
+  std::printf("data served        : %10.1f GB\n",
+              static_cast<double>(r.read_tuples) / 1000.0);
+  std::printf("makespan           : %10.1f h\n", r.makespan_s / 3600.0);
+  return 0;
+}
