@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_frag_static.dir/bench_fig6a_frag_static.cc.o"
+  "CMakeFiles/bench_fig6a_frag_static.dir/bench_fig6a_frag_static.cc.o.d"
+  "bench_fig6a_frag_static"
+  "bench_fig6a_frag_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_frag_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_frag_dynamic.dir/bench_fig6b_frag_dynamic.cc.o"
+  "CMakeFiles/bench_fig6b_frag_dynamic.dir/bench_fig6b_frag_dynamic.cc.o.d"
+  "bench_fig6b_frag_dynamic"
+  "bench_fig6b_frag_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_frag_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_mixed_priority.dir/bench_fig9a_mixed_priority.cc.o"
+  "CMakeFiles/bench_fig9a_mixed_priority.dir/bench_fig9a_mixed_priority.cc.o.d"
+  "bench_fig9a_mixed_priority"
+  "bench_fig9a_mixed_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_mixed_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

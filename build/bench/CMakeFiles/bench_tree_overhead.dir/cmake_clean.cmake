@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_overhead.dir/bench_tree_overhead.cc.o"
+  "CMakeFiles/bench_tree_overhead.dir/bench_tree_overhead.cc.o.d"
+  "bench_tree_overhead"
+  "bench_tree_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

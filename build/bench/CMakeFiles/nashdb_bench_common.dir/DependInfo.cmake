@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/nashdb_bench_common.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/nashdb_bench_common.dir/bench_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/nashdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nashdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/nashdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/fragment/CMakeFiles/nashdb_fragment.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/nashdb_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/nashdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/transition/CMakeFiles/nashdb_transition.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nashdb_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/nashdb_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nashdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nashdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

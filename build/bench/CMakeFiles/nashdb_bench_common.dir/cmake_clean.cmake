@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/nashdb_bench_common.dir/bench_common.cc.o.d"
+  "libnashdb_bench_common.a"
+  "libnashdb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

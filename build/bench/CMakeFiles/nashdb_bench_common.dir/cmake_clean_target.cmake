@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnashdb_bench_common.a"
+)

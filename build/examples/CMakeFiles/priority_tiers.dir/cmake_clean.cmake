@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_tiers.dir/priority_tiers.cpp.o"
+  "CMakeFiles/priority_tiers.dir/priority_tiers.cpp.o.d"
+  "priority_tiers"
+  "priority_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hypergraph_system.cc" "src/baselines/CMakeFiles/nashdb_baselines.dir/hypergraph_system.cc.o" "gcc" "src/baselines/CMakeFiles/nashdb_baselines.dir/hypergraph_system.cc.o.d"
+  "/root/repo/src/baselines/market_sim.cc" "src/baselines/CMakeFiles/nashdb_baselines.dir/market_sim.cc.o" "gcc" "src/baselines/CMakeFiles/nashdb_baselines.dir/market_sim.cc.o.d"
+  "/root/repo/src/baselines/threshold_system.cc" "src/baselines/CMakeFiles/nashdb_baselines.dir/threshold_system.cc.o" "gcc" "src/baselines/CMakeFiles/nashdb_baselines.dir/threshold_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nashdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/nashdb_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/fragment/CMakeFiles/nashdb_fragment.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/nashdb_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nashdb_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_baselines.dir/hypergraph_system.cc.o"
+  "CMakeFiles/nashdb_baselines.dir/hypergraph_system.cc.o.d"
+  "CMakeFiles/nashdb_baselines.dir/market_sim.cc.o"
+  "CMakeFiles/nashdb_baselines.dir/market_sim.cc.o.d"
+  "CMakeFiles/nashdb_baselines.dir/threshold_system.cc.o"
+  "CMakeFiles/nashdb_baselines.dir/threshold_system.cc.o.d"
+  "libnashdb_baselines.a"
+  "libnashdb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnashdb_baselines.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_cluster.dir/sim.cc.o"
+  "CMakeFiles/nashdb_cluster.dir/sim.cc.o.d"
+  "libnashdb_cluster.a"
+  "libnashdb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

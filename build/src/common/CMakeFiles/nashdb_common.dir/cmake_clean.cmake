@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_common.dir/query.cc.o"
+  "CMakeFiles/nashdb_common.dir/query.cc.o.d"
+  "CMakeFiles/nashdb_common.dir/random.cc.o"
+  "CMakeFiles/nashdb_common.dir/random.cc.o.d"
+  "CMakeFiles/nashdb_common.dir/stats.cc.o"
+  "CMakeFiles/nashdb_common.dir/stats.cc.o.d"
+  "CMakeFiles/nashdb_common.dir/status.cc.o"
+  "CMakeFiles/nashdb_common.dir/status.cc.o.d"
+  "libnashdb_common.a"
+  "libnashdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

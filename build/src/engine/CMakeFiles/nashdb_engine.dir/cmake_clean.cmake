@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_engine.dir/config_index.cc.o"
+  "CMakeFiles/nashdb_engine.dir/config_index.cc.o.d"
+  "CMakeFiles/nashdb_engine.dir/driver.cc.o"
+  "CMakeFiles/nashdb_engine.dir/driver.cc.o.d"
+  "CMakeFiles/nashdb_engine.dir/nashdb_system.cc.o"
+  "CMakeFiles/nashdb_engine.dir/nashdb_system.cc.o.d"
+  "libnashdb_engine.a"
+  "libnashdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fragment/dt.cc" "src/fragment/CMakeFiles/nashdb_fragment.dir/dt.cc.o" "gcc" "src/fragment/CMakeFiles/nashdb_fragment.dir/dt.cc.o.d"
+  "/root/repo/src/fragment/fragmenter.cc" "src/fragment/CMakeFiles/nashdb_fragment.dir/fragmenter.cc.o" "gcc" "src/fragment/CMakeFiles/nashdb_fragment.dir/fragmenter.cc.o.d"
+  "/root/repo/src/fragment/greedy.cc" "src/fragment/CMakeFiles/nashdb_fragment.dir/greedy.cc.o" "gcc" "src/fragment/CMakeFiles/nashdb_fragment.dir/greedy.cc.o.d"
+  "/root/repo/src/fragment/hypergraph.cc" "src/fragment/CMakeFiles/nashdb_fragment.dir/hypergraph.cc.o" "gcc" "src/fragment/CMakeFiles/nashdb_fragment.dir/hypergraph.cc.o.d"
+  "/root/repo/src/fragment/optimal.cc" "src/fragment/CMakeFiles/nashdb_fragment.dir/optimal.cc.o" "gcc" "src/fragment/CMakeFiles/nashdb_fragment.dir/optimal.cc.o.d"
+  "/root/repo/src/fragment/prefix_stats.cc" "src/fragment/CMakeFiles/nashdb_fragment.dir/prefix_stats.cc.o" "gcc" "src/fragment/CMakeFiles/nashdb_fragment.dir/prefix_stats.cc.o.d"
+  "/root/repo/src/fragment/scheme.cc" "src/fragment/CMakeFiles/nashdb_fragment.dir/scheme.cc.o" "gcc" "src/fragment/CMakeFiles/nashdb_fragment.dir/scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nashdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/nashdb_value.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

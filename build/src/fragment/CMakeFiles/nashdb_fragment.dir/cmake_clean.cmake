@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_fragment.dir/dt.cc.o"
+  "CMakeFiles/nashdb_fragment.dir/dt.cc.o.d"
+  "CMakeFiles/nashdb_fragment.dir/fragmenter.cc.o"
+  "CMakeFiles/nashdb_fragment.dir/fragmenter.cc.o.d"
+  "CMakeFiles/nashdb_fragment.dir/greedy.cc.o"
+  "CMakeFiles/nashdb_fragment.dir/greedy.cc.o.d"
+  "CMakeFiles/nashdb_fragment.dir/hypergraph.cc.o"
+  "CMakeFiles/nashdb_fragment.dir/hypergraph.cc.o.d"
+  "CMakeFiles/nashdb_fragment.dir/optimal.cc.o"
+  "CMakeFiles/nashdb_fragment.dir/optimal.cc.o.d"
+  "CMakeFiles/nashdb_fragment.dir/prefix_stats.cc.o"
+  "CMakeFiles/nashdb_fragment.dir/prefix_stats.cc.o.d"
+  "CMakeFiles/nashdb_fragment.dir/scheme.cc.o"
+  "CMakeFiles/nashdb_fragment.dir/scheme.cc.o.d"
+  "libnashdb_fragment.a"
+  "libnashdb_fragment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnashdb_fragment.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/cluster_config.cc" "src/replication/CMakeFiles/nashdb_replication.dir/cluster_config.cc.o" "gcc" "src/replication/CMakeFiles/nashdb_replication.dir/cluster_config.cc.o.d"
+  "/root/repo/src/replication/incremental.cc" "src/replication/CMakeFiles/nashdb_replication.dir/incremental.cc.o" "gcc" "src/replication/CMakeFiles/nashdb_replication.dir/incremental.cc.o.d"
+  "/root/repo/src/replication/nash.cc" "src/replication/CMakeFiles/nashdb_replication.dir/nash.cc.o" "gcc" "src/replication/CMakeFiles/nashdb_replication.dir/nash.cc.o.d"
+  "/root/repo/src/replication/packer.cc" "src/replication/CMakeFiles/nashdb_replication.dir/packer.cc.o" "gcc" "src/replication/CMakeFiles/nashdb_replication.dir/packer.cc.o.d"
+  "/root/repo/src/replication/replication.cc" "src/replication/CMakeFiles/nashdb_replication.dir/replication.cc.o" "gcc" "src/replication/CMakeFiles/nashdb_replication.dir/replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nashdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

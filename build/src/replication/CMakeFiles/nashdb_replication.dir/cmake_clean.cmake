@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_replication.dir/cluster_config.cc.o"
+  "CMakeFiles/nashdb_replication.dir/cluster_config.cc.o.d"
+  "CMakeFiles/nashdb_replication.dir/incremental.cc.o"
+  "CMakeFiles/nashdb_replication.dir/incremental.cc.o.d"
+  "CMakeFiles/nashdb_replication.dir/nash.cc.o"
+  "CMakeFiles/nashdb_replication.dir/nash.cc.o.d"
+  "CMakeFiles/nashdb_replication.dir/packer.cc.o"
+  "CMakeFiles/nashdb_replication.dir/packer.cc.o.d"
+  "CMakeFiles/nashdb_replication.dir/replication.cc.o"
+  "CMakeFiles/nashdb_replication.dir/replication.cc.o.d"
+  "libnashdb_replication.a"
+  "libnashdb_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_routing.dir/router.cc.o"
+  "CMakeFiles/nashdb_routing.dir/router.cc.o.d"
+  "libnashdb_routing.a"
+  "libnashdb_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/storage_cluster.cc" "src/storage/CMakeFiles/nashdb_storage.dir/storage_cluster.cc.o" "gcc" "src/storage/CMakeFiles/nashdb_storage.dir/storage_cluster.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/nashdb_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/nashdb_storage.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nashdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/nashdb_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nashdb_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/transition/CMakeFiles/nashdb_transition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

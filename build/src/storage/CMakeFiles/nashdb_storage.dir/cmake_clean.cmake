@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_storage.dir/storage_cluster.cc.o"
+  "CMakeFiles/nashdb_storage.dir/storage_cluster.cc.o.d"
+  "CMakeFiles/nashdb_storage.dir/table.cc.o"
+  "CMakeFiles/nashdb_storage.dir/table.cc.o.d"
+  "libnashdb_storage.a"
+  "libnashdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transition/hungarian.cc" "src/transition/CMakeFiles/nashdb_transition.dir/hungarian.cc.o" "gcc" "src/transition/CMakeFiles/nashdb_transition.dir/hungarian.cc.o.d"
+  "/root/repo/src/transition/planner.cc" "src/transition/CMakeFiles/nashdb_transition.dir/planner.cc.o" "gcc" "src/transition/CMakeFiles/nashdb_transition.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nashdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/nashdb_replication.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

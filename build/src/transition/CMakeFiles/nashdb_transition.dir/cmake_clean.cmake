@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_transition.dir/hungarian.cc.o"
+  "CMakeFiles/nashdb_transition.dir/hungarian.cc.o.d"
+  "CMakeFiles/nashdb_transition.dir/planner.cc.o"
+  "CMakeFiles/nashdb_transition.dir/planner.cc.o.d"
+  "libnashdb_transition.a"
+  "libnashdb_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/value/estimator.cc" "src/value/CMakeFiles/nashdb_value.dir/estimator.cc.o" "gcc" "src/value/CMakeFiles/nashdb_value.dir/estimator.cc.o.d"
+  "/root/repo/src/value/value_profile.cc" "src/value/CMakeFiles/nashdb_value.dir/value_profile.cc.o" "gcc" "src/value/CMakeFiles/nashdb_value.dir/value_profile.cc.o.d"
+  "/root/repo/src/value/value_tree.cc" "src/value/CMakeFiles/nashdb_value.dir/value_tree.cc.o" "gcc" "src/value/CMakeFiles/nashdb_value.dir/value_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nashdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

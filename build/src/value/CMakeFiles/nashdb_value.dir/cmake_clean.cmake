@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_value.dir/estimator.cc.o"
+  "CMakeFiles/nashdb_value.dir/estimator.cc.o.d"
+  "CMakeFiles/nashdb_value.dir/value_profile.cc.o"
+  "CMakeFiles/nashdb_value.dir/value_profile.cc.o.d"
+  "CMakeFiles/nashdb_value.dir/value_tree.cc.o"
+  "CMakeFiles/nashdb_value.dir/value_tree.cc.o.d"
+  "libnashdb_value.a"
+  "libnashdb_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

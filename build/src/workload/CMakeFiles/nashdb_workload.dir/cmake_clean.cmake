@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_workload.dir/synthetic.cc.o"
+  "CMakeFiles/nashdb_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/nashdb_workload.dir/tpch.cc.o"
+  "CMakeFiles/nashdb_workload.dir/tpch.cc.o.d"
+  "CMakeFiles/nashdb_workload.dir/workload.cc.o"
+  "CMakeFiles/nashdb_workload.dir/workload.cc.o.d"
+  "libnashdb_workload.a"
+  "libnashdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmenter_test.dir/fragmenter_test.cc.o"
+  "CMakeFiles/fragmenter_test.dir/fragmenter_test.cc.o.d"
+  "fragmenter_test"
+  "fragmenter_test.pdb"
+  "fragmenter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_stats_test.dir/prefix_stats_test.cc.o"
+  "CMakeFiles/prefix_stats_test.dir/prefix_stats_test.cc.o.d"
+  "prefix_stats_test"
+  "prefix_stats_test.pdb"
+  "prefix_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_tree_test.dir/value_tree_test.cc.o"
+  "CMakeFiles/value_tree_test.dir/value_tree_test.cc.o.d"
+  "value_tree_test"
+  "value_tree_test.pdb"
+  "value_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

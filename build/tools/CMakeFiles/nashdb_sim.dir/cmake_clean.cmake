@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nashdb_sim.dir/nashdb_sim.cc.o"
+  "CMakeFiles/nashdb_sim.dir/nashdb_sim.cc.o.d"
+  "nashdb_sim"
+  "nashdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nashdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
