@@ -1,0 +1,248 @@
+// Refragmentation scale bench (the perf trajectory tracker for the
+// reconfiguration hot path): sweeps value-profile change-point counts
+// (1k -> 200k) and thread counts across OptimalFragmenter's solvers, and
+// emits machine-readable BENCH_refrag.json next to the human table.
+//
+// The headline sweep uses monotone "hot tail" profiles (recency-skewed
+// workloads over time-clustered tables produce these): that is the regime
+// where the Eq.-4 segment cost is concave Monge, the divide-and-conquer
+// solver is provably exact, and its scheme error must be identical to the
+// quadratic reference's. A second section measures the heuristic gap of
+// forced divide-and-conquer on a non-monotone random profile, where the
+// Monge precondition fails (see DESIGN.md "issue errata").
+//
+// Usage: bench_refrag_scale [--quick]
+//   --quick caps the sweep at 5k change points (smoke-test mode).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace nashdb::bench {
+namespace {
+
+constexpr std::size_t kFrags = 16;
+
+struct BenchResult {
+  std::string profile;    // "monotone" | "random"
+  std::string algorithm;  // "quadratic" | "dc"
+  std::size_t change_points = 0;
+  std::size_t threads = 1;
+  double wall_ms = 0.0;
+  Money scheme_error = 0.0;
+};
+
+/// A monotone nondecreasing step profile with exactly `m` change points
+/// (chunks), random chunk lengths and increments.
+ValueProfile MonotoneProfile(Rng* rng, std::size_t m) {
+  std::vector<ValueChunk> chunks;
+  chunks.reserve(m);
+  TupleIndex cursor = 0;
+  Money v = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const TupleIndex len = 1 + rng->Uniform(80);
+    v += 0.01 * static_cast<Money>(1 + rng->Uniform(100));
+    chunks.push_back(ValueChunk{cursor, cursor + len, v});
+    cursor += len;
+  }
+  return ValueProfile::FromSparseChunks(cursor, std::move(chunks));
+}
+
+/// A non-monotone random step profile with ~`m` change points.
+ValueProfile RandomProfile(Rng* rng, std::size_t m) {
+  std::vector<ValueChunk> chunks;
+  chunks.reserve(m);
+  TupleIndex cursor = 0;
+  Money prev = -1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const TupleIndex len = 1 + rng->Uniform(80);
+    Money v = 0.01 * static_cast<Money>(rng->Uniform(10'000));
+    if (v == prev) v += 0.005;  // keep every boundary a real change point
+    chunks.push_back(ValueChunk{cursor, cursor + len, v});
+    cursor += len;
+    prev = v;
+  }
+  return ValueProfile::FromSparseChunks(cursor, std::move(chunks));
+}
+
+BenchResult RunOnce(const std::string& profile_name, const ValueProfile& p,
+                    OptimalFragmenter::Algorithm algorithm,
+                    ThreadPool* pool) {
+  OptimalFragmenter::Options opts;
+  opts.algorithm = algorithm;
+  opts.pool = pool;
+  OptimalFragmenter frag(opts);
+
+  FragmentationContext ctx;
+  ctx.table = 0;
+  ctx.profile = &p;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const FragmentationScheme scheme = frag.Refragment(ctx, kFrags);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  BenchResult r;
+  r.profile = profile_name;
+  r.algorithm =
+      algorithm == OptimalFragmenter::Algorithm::kQuadratic ? "quadratic"
+                                                            : "dc";
+  r.change_points = p.chunks().size();
+  r.threads = pool == nullptr ? 1 : pool->num_threads();
+  r.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  r.scheme_error = SchemeError(scheme, p);
+  return r;
+}
+
+void WriteJson(const std::vector<BenchResult>& results, double speedup_50k,
+               double heuristic_gap) {
+  std::FILE* f = std::fopen("BENCH_refrag.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_refrag.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"refrag_scale\",\n  \"frags\": %zu,\n",
+               kFrags);
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n",
+               ThreadPool::DefaultThreads());
+  std::fprintf(f, "  \"speedup_50k_8t\": %.2f,\n", speedup_50k);
+  std::fprintf(f, "  \"dc_heuristic_gap_random_profile\": %.6f,\n",
+               heuristic_gap);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"profile\": \"%s\", \"algorithm\": \"%s\", "
+                 "\"change_points\": %zu, \"threads\": %zu, "
+                 "\"wall_ms\": %.3f, \"scheme_error\": %.6f}%s\n",
+                 r.profile.c_str(), r.algorithm.c_str(), r.change_points,
+                 r.threads, r.wall_ms, r.scheme_error,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_refrag.json (%zu results)\n", results.size());
+}
+
+int Main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::vector<std::size_t> sweep = {1'000, 5'000, 20'000, 50'000, 200'000};
+  // The quadratic reference is O(k m^2); past 50k change points one run
+  // takes minutes, so its curve stops there (logged, not silently).
+  std::size_t quad_cap = 50'000;
+  if (quick) {
+    sweep = {1'000, 5'000};
+    quad_cap = 5'000;
+  }
+
+  PrintTitle("Refragmentation scale: quadratic reference vs D&C monotone DP");
+  PrintRow({"profile", "algo", "chg-points", "threads", "wall ms", "error"});
+
+  std::vector<BenchResult> results;
+  double quad_50k_ms = 0.0, dc_50k_8t_ms = 0.0;
+
+  for (std::size_t m : sweep) {
+    Rng rng(1234 + m);
+    const ValueProfile p = MonotoneProfile(&rng, m);
+
+    BenchResult quad_r;
+    if (m <= quad_cap) {
+      quad_r = RunOnce("monotone", p,
+                       OptimalFragmenter::Algorithm::kQuadratic, nullptr);
+      results.push_back(quad_r);
+      PrintRow({quad_r.profile, quad_r.algorithm,
+                std::to_string(quad_r.change_points), "1",
+                Fmt(quad_r.wall_ms), FmtSci(quad_r.scheme_error)});
+      if (m == 50'000) quad_50k_ms = quad_r.wall_ms;
+    } else {
+      std::printf("  (quadratic reference skipped at %zu change points: "
+                  "O(k m^2) needs minutes)\n",
+                  m);
+    }
+
+    const BenchResult dc_serial =
+        RunOnce("monotone", p, OptimalFragmenter::Algorithm::kDivideAndConquer,
+                nullptr);
+    results.push_back(dc_serial);
+    PrintRow({dc_serial.profile, dc_serial.algorithm,
+              std::to_string(dc_serial.change_points), "1",
+              Fmt(dc_serial.wall_ms), FmtSci(dc_serial.scheme_error)});
+
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      const BenchResult dc_par =
+          RunOnce("monotone", p,
+                  OptimalFragmenter::Algorithm::kDivideAndConquer, &pool);
+      results.push_back(dc_par);
+      PrintRow({dc_par.profile, dc_par.algorithm,
+                std::to_string(dc_par.change_points),
+                std::to_string(threads), Fmt(dc_par.wall_ms),
+                FmtSci(dc_par.scheme_error)});
+      if (m == 50'000 && threads == 8) dc_50k_8t_ms = dc_par.wall_ms;
+
+      // Error parity: on monotone profiles D&C is exact, so every solver
+      // and thread count must land on the same Eq.-4 scheme error.
+      if (m <= quad_cap) {
+        const Money diff = dc_par.scheme_error > quad_r.scheme_error
+                               ? dc_par.scheme_error - quad_r.scheme_error
+                               : quad_r.scheme_error - dc_par.scheme_error;
+        NASHDB_CHECK_LE(diff, 1e-9 + 1e-9 * quad_r.scheme_error)
+            << "scheme error parity broken at m=" << m
+            << " threads=" << threads;
+      }
+    }
+  }
+
+  // Heuristic-gap section: forced D&C on a non-monotone profile, where
+  // the Monge precondition (and hence optimality) does not hold.
+  double heuristic_gap = 0.0;
+  {
+    const std::size_t m = quick ? 2'000 : 20'000;
+    Rng rng(999);
+    const ValueProfile p = RandomProfile(&rng, m);
+    const BenchResult quad_r =
+        RunOnce("random", p, OptimalFragmenter::Algorithm::kQuadratic,
+                nullptr);
+    const BenchResult dc_r = RunOnce(
+        "random", p, OptimalFragmenter::Algorithm::kDivideAndConquer,
+        nullptr);
+    results.push_back(quad_r);
+    results.push_back(dc_r);
+    heuristic_gap = quad_r.scheme_error > 0.0
+                        ? dc_r.scheme_error / quad_r.scheme_error
+                        : 1.0;
+    PrintTitle("Non-monotone profile (D&C is a heuristic here)");
+    PrintRow({"algo", "chg-points", "wall ms", "error"});
+    PrintRow({"quadratic", std::to_string(quad_r.change_points),
+              Fmt(quad_r.wall_ms), FmtSci(quad_r.scheme_error)});
+    PrintRow({"dc", std::to_string(dc_r.change_points), Fmt(dc_r.wall_ms),
+              FmtSci(dc_r.scheme_error)});
+    std::printf("  D&C / optimal error ratio: %.4f\n", heuristic_gap);
+  }
+
+  double speedup = 0.0;
+  if (quad_50k_ms > 0.0 && dc_50k_8t_ms > 0.0) {
+    speedup = quad_50k_ms / dc_50k_8t_ms;
+    std::printf("\nspeedup at 50k change points, 8 threads: %.1fx "
+                "(quadratic serial %.1f ms -> D&C %.2f ms)\n",
+                speedup, quad_50k_ms, dc_50k_8t_ms);
+  }
+
+  WriteJson(results, speedup, heuristic_gap);
+  return 0;
+}
+
+}  // namespace
+}  // namespace nashdb::bench
+
+int main(int argc, char** argv) { return nashdb::bench::Main(argc, argv); }

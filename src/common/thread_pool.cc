@@ -1,0 +1,132 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nashdb {
+namespace {
+
+/// The pool whose WorkerLoop the current thread is running, if any.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NASHDB_CHECK(!stop_) << "Schedule on a destroyed ThreadPool";
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
+
+std::size_t ThreadPool::DefaultThreads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t blocks = (n + grain - 1) / grain;
+  if (pool == nullptr || pool->num_threads() < 2 || blocks < 2 ||
+      pool->OnWorkerThread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared by the caller and every scheduled runner. shared_ptr so a runner
+  // that was queued but never claimed a block still has a live state to
+  // decrement `pending` on, even in exotic unwinds.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t pending = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+
+  // Claims blocks until the range (or an exception) exhausts them. `fn` is
+  // captured by reference: the caller waits for `pending` to hit zero
+  // before returning, so the reference cannot dangle.
+  auto run_blocks = [state, &fn, n, grain] {
+    while (!state->cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t begin =
+          state->next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + grain);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+        state->cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t runners = std::min(pool->num_threads(), blocks - 1);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->pending = runners;
+  }
+  for (std::size_t r = 0; r < runners; ++r) {
+    pool->Schedule([state, run_blocks] {
+      run_blocks();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->done.notify_all();
+    });
+  }
+  run_blocks();  // the caller participates
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->pending == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace nashdb

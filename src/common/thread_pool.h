@@ -1,0 +1,77 @@
+#ifndef NASHDB_COMMON_THREAD_POOL_H_
+#define NASHDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nashdb {
+
+/// A small fixed-size worker pool for the reconfiguration pipeline's
+/// fork/join parallelism (per-table Refragment calls, DP row blocks).
+/// Tasks run FIFO; the pool makes no fairness or priority promises beyond
+/// that. A pool with zero workers is a valid degenerate pool: Schedule()
+/// runs the task inline on the calling thread, so callers never need a
+/// serial special case.
+///
+/// Ownership model (see DESIGN.md "Performance architecture"): whoever
+/// coordinates a pipeline owns the pool (NashDbSystem owns one for its
+/// BuildConfig; benches and tests own theirs); algorithm objects such as
+/// OptimalFragmenter only borrow a non-owning pointer and must not outlive
+/// uses of it. There is deliberately no process-global pool.
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_threads` workers (0 is the inline degenerate
+  /// pool). Use DefaultThreads() to size a pool to the hardware.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` for execution on a worker (inline when the pool has no
+  /// workers). Fire-and-forget: completion and exceptions are the
+  /// submitter's business — `fn` must not throw (ParallelFor wraps user
+  /// functions to capture exceptions).
+  void Schedule(std::function<void()> fn);
+
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// ParallelFor to degrade nested calls to inline execution instead of
+  /// deadlocking on the pool's own queue.
+  bool OnWorkerThread() const;
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n), partitioned into contiguous blocks of
+/// `grain` indices claimed dynamically by the pool's workers and by the
+/// calling thread (which always participates). Blocks until every index has
+/// run. The first exception thrown by `fn` is rethrown here after all
+/// in-flight work drains; remaining unclaimed blocks are abandoned.
+///
+/// Degrades to a plain serial loop when `pool` is null, has fewer than two
+/// workers, n fits a single block, or the caller is itself one of `pool`'s
+/// workers (nested parallelism runs inline rather than deadlocking).
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 1);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_COMMON_THREAD_POOL_H_

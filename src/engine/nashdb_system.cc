@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <map>
 #include <tuple>
 
@@ -58,14 +59,30 @@ ClusterConfig NashDbSystem::BuildConfig() {
   params.min_replicas = options_.min_replicas;
   params.max_replicas = options_.max_replicas;
 
-  std::vector<FragmentInfo> fragments;
-  std::vector<Scan> table_scans;
+  // Refragment tables concurrently: each table's profile, window slice,
+  // and (stateful) fragmenter are private to its task, and the estimator
+  // is only read. Results land in a per-table slot and are concatenated in
+  // table order, so the configuration is identical to the serial one.
+  std::vector<const TableSpec*> tables;
   for (const TableSpec& table : dataset_.tables) {
-    if (table.tuples == 0) continue;
+    if (table.tuples > 0) tables.push_back(&table);
+  }
+  for (const TableSpec* table : tables) {
+    auto& fragmenter = fragmenters_[table->id];
+    if (!fragmenter) fragmenter = fragmenter_factory_();
+  }
+  const std::size_t threads = options_.reconfig_threads == 0
+                                  ? ThreadPool::DefaultThreads()
+                                  : options_.reconfig_threads;
+  if (!pool_ && threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+
+  std::vector<std::vector<FragmentInfo>> per_table(tables.size());
+  ParallelFor(pool_.get(), tables.size(), [&](std::size_t ti) {
+    const TableSpec& table = *tables[ti];
     const ValueProfile profile =
         estimator_->Profile(table.id, table.tuples);
 
-    table_scans.clear();
+    std::vector<Scan> table_scans;
     for (const Scan& s : estimator_->window()) {
       if (s.table == table.id) table_scans.push_back(s);
     }
@@ -75,11 +92,8 @@ ClusterConfig NashDbSystem::BuildConfig() {
     ctx.profile = &profile;
     ctx.window_scans = table_scans;
 
-    auto& fragmenter = fragmenters_[table.id];
-    if (!fragmenter) fragmenter = fragmenter_factory_();
-
-    const FragmentationScheme scheme =
-        fragmenter->Refragment(ctx, MaxFragsFor(table.tuples));
+    const FragmentationScheme scheme = fragmenters_.at(table.id)->Refragment(
+        ctx, MaxFragsFor(table.tuples));
     NASHDB_CHECK(scheme.Valid());
 
     // A fragment must fit on one node; the fragmenter optimizes error, not
@@ -96,10 +110,16 @@ ClusterConfig NashDbSystem::BuildConfig() {
         info.index_in_table = next_index++;
         info.range = TupleRange{start, end};
         info.value = profile.TotalValue(info.range);
-        fragments.push_back(info);
+        per_table[ti].push_back(info);
         start = end;
       }
     }
+  });
+
+  std::vector<FragmentInfo> fragments;
+  for (std::vector<FragmentInfo>& tf : per_table) {
+    fragments.insert(fragments.end(), std::make_move_iterator(tf.begin()),
+                     std::make_move_iterator(tf.end()));
   }
 
   DecideReplication(params, &fragments);

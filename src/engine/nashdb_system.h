@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/system.h"
 #include "fragment/fragmenter.h"
 #include "replication/replication.h"
@@ -48,6 +49,11 @@ struct NashDbOptions {
   /// transfers small, as the paper reports (§10.3). Disable to rebuild a
   /// fresh BFFD packing every period.
   bool incremental_placement = true;
+  /// Threads refragmenting tables concurrently inside BuildConfig (each
+  /// table's Refragment is independent; results are assembled in table
+  /// order, so the emitted configuration is identical at any setting).
+  /// 1 = serial, 0 = one per hardware thread.
+  std::size_t reconfig_threads = 0;
 };
 
 /// The NashDB engine (Figure 1): tuple value estimator -> fragmentation
@@ -82,8 +88,13 @@ class NashDbSystem : public DistributionSystem {
   std::unique_ptr<Fragmenter> (*fragmenter_factory_)();
   std::unique_ptr<TupleValueEstimator> estimator_;
   /// One (stateful) fragmenter instance per table, so greedy split/merge
-  /// state survives across reconfigurations.
+  /// state survives across reconfigurations. Pre-created for every table
+  /// before the parallel refragmentation loop; each task touches only its
+  /// own table's entry.
   std::map<TableId, std::unique_ptr<Fragmenter>> fragmenters_;
+  /// Workers for the per-table refragmentation fan-out; created lazily on
+  /// the first BuildConfig when reconfig_threads resolves to > 1.
+  std::unique_ptr<ThreadPool> pool_;
   /// Previous configuration, the anchor for incremental placement.
   std::unique_ptr<ClusterConfig> last_config_;
 };

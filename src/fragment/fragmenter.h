@@ -16,6 +16,8 @@
 
 namespace nashdb {
 
+class ThreadPool;
+
 /// Everything a fragmentation algorithm may consult when (re)fragmenting
 /// one table: the current tuple value profile V(x) and the window of recent
 /// scans over this table (needed only by the hypergraph baseline, which
@@ -71,20 +73,59 @@ std::optional<SplitResult> FindBestSplit(const PrefixStats& stats,
 /// Dynamic-programming optimal fragmentation (§5.2, after [29]): minimizes
 /// total unnormalized variance over all schemes with at most `max_frags`
 /// fragments, restricting boundaries to value change points (optimal per
-/// [10, 29]). O(k m^2) time, O(k m) space for m value chunks.
+/// [10, 29]).
+///
+/// Solvers over m value chunks and k fragments:
+///  - kDivideAndConquer: when the tuple-value sequence is monotone, the
+///    Eq.-4 segment cost satisfies the concave quadrangle inequality (the
+///    sorted-data precondition of the 1-D optimal-partitioning
+///    literature), each DP layer's argmins are monotone, and
+///    divide-and-conquer evaluates a layer in O(m log m) instead of
+///    O(m^2). Total O(k m log m) time; O(m) working memory (two rolling
+///    DP rows) plus one recorded uint32 cut row per layer for boundary
+///    reconstruction. Independent recursion subranges of a layer can run
+///    on a borrowed ThreadPool. On non-monotone profiles the quadrangle
+///    inequality can fail (DESIGN.md "issue errata": V = [0, 10, 0] is a
+///    counterexample), making this a near-optimal heuristic there.
+///  - kQuadratic: the straightforward O(k m^2) reference implementation
+///    the paper describes, exact on every profile; kept for
+///    cross-validation (the property tests assert both solvers produce
+///    the same total Eq.-4 error where the precondition holds).
+///  - kAuto (default): detects monotonicity of the profile in O(m) and
+///    picks kDivideAndConquer exactly when it is provably exact, else
+///    kQuadratic — so the default is always optimal, and fast whenever
+///    the workload's value profile allows it.
 class OptimalFragmenter : public Fragmenter {
  public:
-  /// If the profile has more than `max_candidates` change points they are
-  /// uniformly subsampled to bound DP cost (0 = unlimited).
+  enum class Algorithm {
+    kAuto,
+    kDivideAndConquer,
+    kQuadratic,
+  };
+
+  struct Options {
+    Algorithm algorithm = Algorithm::kAuto;
+    /// If the profile has more than `max_candidates` change points they are
+    /// uniformly subsampled to bound DP cost (0 = unlimited). With the
+    /// divide-and-conquer solver this is rarely needed: 200k change points
+    /// solve in well under a second (bench_refrag_scale tracks this).
+    std::size_t max_candidates = 0;
+    /// Borrowed, not owned; may be null (serial). Used to evaluate
+    /// independent DP-layer subranges in parallel once a layer is large
+    /// enough to be worth it.
+    ThreadPool* pool = nullptr;
+  };
+
   explicit OptimalFragmenter(std::size_t max_candidates = 0)
-      : max_candidates_(max_candidates) {}
+      : OptimalFragmenter(Options{.max_candidates = max_candidates}) {}
+  explicit OptimalFragmenter(const Options& options) : options_(options) {}
 
   std::string_view name() const override { return "Optimal"; }
   FragmentationScheme Refragment(const FragmentationContext& ctx,
                                  std::size_t max_frags) override;
 
  private:
-  std::size_t max_candidates_;
+  Options options_;
 };
 
 /// NashDB's greedy split/merge fragmenter (§5.3). Stateful: it adapts the

@@ -46,6 +46,45 @@ TEST(NashDbSystemTest, ColdStartProducesValidMinimalConfig) {
   EXPECT_GE(config.node_count(), 1u);
 }
 
+TEST(NashDbSystemTest, ParallelRefragmentationMatchesSerial) {
+  // The per-table refragmentation fan-out must emit the identical
+  // configuration at any thread count (results are assembled in table
+  // order). Forced to 4 threads so the parallel path runs even on 1-core
+  // machines.
+  TpchOptions topts;
+  topts.db_gb = 5.0;
+  const Dataset ds = MakeTpchDataset(topts);
+  NashDbOptions serial_opts = SmallOptions();
+  serial_opts.reconfig_threads = 1;
+  NashDbOptions parallel_opts = SmallOptions();
+  parallel_opts.reconfig_threads = 4;
+  NashDbSystem serial(ds, serial_opts);
+  NashDbSystem parallel(ds, parallel_opts);
+  for (QueryId q = 0; q < 30; ++q) {
+    const TableSpec& t = ds.tables[q % ds.tables.size()];
+    const TupleIndex start = (97 * q) % std::max<TupleCount>(1, t.tuples / 2);
+    const TupleIndex end =
+        std::min<TupleCount>(t.tuples, start + t.tuples / 3 + 1);
+    const Query query = MakeQuery(q, 2.0, {{t.id, TupleRange{start, end}}});
+    serial.Observe(query);
+    parallel.Observe(query);
+  }
+  for (int round = 0; round < 3; ++round) {
+    const ClusterConfig a = serial.BuildConfig();
+    const ClusterConfig b = parallel.BuildConfig();
+    EXPECT_TRUE(b.Valid());
+    ASSERT_EQ(a.fragments().size(), b.fragments().size()) << round;
+    for (std::size_t i = 0; i < a.fragments().size(); ++i) {
+      const FragmentInfo& fa = a.fragments()[i];
+      const FragmentInfo& fb = b.fragments()[i];
+      EXPECT_EQ(fa.table, fb.table);
+      EXPECT_EQ(fa.range.start, fb.range.start);
+      EXPECT_EQ(fa.range.end, fb.range.end);
+      EXPECT_EQ(fa.replicas, fb.replicas);
+    }
+  }
+}
+
 TEST(NashDbSystemTest, FragmentsTileEveryTable) {
   TpchOptions topts;
   topts.db_gb = 5.0;
