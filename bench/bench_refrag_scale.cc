@@ -14,6 +14,7 @@
 // Usage: bench_refrag_scale [--quick]
 //   --quick caps the sweep at 5k change points (smoke-test mode).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +24,7 @@
 
 #include "bench/bench_common.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 
@@ -228,6 +230,60 @@ int Main(int argc, char** argv) {
     PrintRow({"dc", std::to_string(dc_r.change_points), Fmt(dc_r.wall_ms),
               FmtSci(dc_r.scheme_error)});
     std::printf("  D&C / optimal error ratio: %.4f\n", heuristic_gap);
+  }
+
+  // Metrics-overhead section: the fragmenter is instrumented
+  // (common/metrics.h), so measure the same D&C solve with the registry
+  // disabled (the default — every recording call is one relaxed atomic
+  // load + branch) and enabled, and report the relative cost of each.
+  // Medians over several reps; a single run is too noisy at this scale.
+  {
+    const std::size_t m = quick ? 2'000 : 20'000;
+    constexpr std::size_t kReps = 7;
+    Rng rng(4321);
+    const ValueProfile p = MonotoneProfile(&rng, m);
+    auto median_ms = [&]() {
+      std::vector<double> ms;
+      for (std::size_t i = 0; i < kReps; ++i) {
+        ms.push_back(
+            RunOnce("monotone", p,
+                    OptimalFragmenter::Algorithm::kDivideAndConquer, nullptr)
+                .wall_ms);
+      }
+      std::sort(ms.begin(), ms.end());
+      return ms[ms.size() / 2];
+    };
+    metrics::Registry::Global().Disable();
+    const double disabled_ms = median_ms();
+    metrics::Registry::Global().Reset();
+    metrics::Registry::Global().Enable();
+    const double enabled_ms = median_ms();
+    metrics::Registry::Global().Disable();
+    const double overhead_pct =
+        disabled_ms > 0.0 ? (enabled_ms - disabled_ms) / disabled_ms * 100.0
+                          : 0.0;
+
+    PrintTitle("Metrics instrumentation overhead (D&C serial)");
+    PrintRow({"registry", "chg-points", "median wall ms"});
+    PrintRow({"disabled", std::to_string(m), Fmt(disabled_ms)});
+    PrintRow({"enabled", std::to_string(m), Fmt(enabled_ms)});
+    std::printf("  disabled-vs-enabled overhead: %+.2f%%\n", overhead_pct);
+
+    std::FILE* f = std::fopen("BENCH_refrag_metrics.json", "w");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n  \"bench\": \"refrag_metrics_overhead\",\n"
+                   "  \"change_points\": %zu,\n  \"reps\": %zu,\n"
+                   "  \"disabled_median_ms\": %.4f,\n"
+                   "  \"enabled_median_ms\": %.4f,\n"
+                   "  \"enabled_overhead_pct\": %.3f,\n"
+                   "  \"snapshot\": %s\n}\n",
+                   m, kReps, disabled_ms, enabled_ms, overhead_pct,
+                   metrics::Registry::Global().SnapshotJson().c_str());
+      std::fclose(f);
+      std::printf("wrote BENCH_refrag_metrics.json\n");
+    }
+    metrics::Registry::Global().Reset();
   }
 
   double speedup = 0.0;

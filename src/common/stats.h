@@ -2,6 +2,7 @@
 #define NASHDB_COMMON_STATS_H_
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace nashdb {
@@ -35,14 +36,24 @@ class RunningStat {
 
 /// Collects samples and answers percentile queries. Used for the paper's
 /// tail-latency experiment (Figure 10: 95th / 99th percentiles).
+///
+/// Thread-safe: Percentile() sorts lazily, which mutates internal state
+/// even through the const interface, so every member serializes on an
+/// internal mutex. (The pre-mutex version let two concurrent readers race
+/// inside std::sort — reachable since the reconfiguration pipeline went
+/// multithreaded; see DESIGN.md "Observability" post-mortem.)
 class PercentileTracker {
  public:
-  void Add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
-  }
+  PercentileTracker() = default;
 
-  std::size_t count() const { return samples_.size(); }
+  // The mutex makes the tracker non-copyable; nothing in the repo copied
+  // one, and the restriction keeps the thread-safety story simple.
+  PercentileTracker(const PercentileTracker&) = delete;
+  PercentileTracker& operator=(const PercentileTracker&) = delete;
+
+  void Add(double x);
+
+  std::size_t count() const;
   double mean() const;
 
   /// Returns the p-th percentile (p in [0, 100]) using linear interpolation
@@ -50,6 +61,7 @@ class PercentileTracker {
   double Percentile(double p) const;
 
  private:
+  mutable std::mutex mu_;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

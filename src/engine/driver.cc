@@ -1,14 +1,52 @@
 #include "engine/driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "engine/config_index.h"
 #include "transition/planner.h"
 
 namespace nashdb {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Completes the §7 transition section of the reconfiguration trace the
+/// system just recorded. Baseline systems record no trace of their own; in
+/// that case a fresh record is appended so the transition stage is still
+/// covered for every round.
+void AnnotateTransition(SimTime sim_time_s, bool applied,
+                        const TransitionPlan& plan, double plan_ms,
+                        double total_ms) {
+  metrics::Registry& reg = metrics::Registry::Global();
+  if (!reg.enabled()) return;
+  const auto fill = [&](metrics::ReconfigTrace& tr) {
+    tr.sim_time_s = sim_time_s;
+    tr.applied = applied;
+    tr.total_ms = total_ms;
+    tr.planned_transfer_tuples = plan.total_transfer_tuples;
+    tr.nodes_added = plan.nodes_added;
+    tr.nodes_removed = plan.nodes_removed;
+    tr.plan_ms = plan_ms;
+  };
+  if (!reg.AnnotateLastReconfig(fill)) {
+    metrics::ReconfigTrace tr;
+    tr.round = reg.reconfig_count();
+    fill(tr);
+    reg.RecordReconfig(std::move(tr));
+  }
+}
+
+}  // namespace
 
 double RunResult::MeanLatency() const {
   if (records.empty()) return 0.0;
@@ -59,6 +97,12 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   RunResult result;
   ClusterSim sim(options.sim);
 
+  const bool collect = options.collect_metrics;
+  if (collect) {
+    metrics::Registry::Global().Reset();
+    metrics::Registry::Global().Enable();
+  }
+
   if (options.warmup_observe) {
     for (const TimedQuery& tq : workload.queries) {
       system->Observe(tq.query);
@@ -74,13 +118,21 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
 
   // Initial provisioning: build the first configuration and pay for the
   // initial data load (every replica is a fresh copy).
+  const auto bootstrap_start = std::chrono::steady_clock::now();
   ClusterConfig config = system->BuildConfig();
   {
     ClusterConfig empty;
+    const auto plan_start = std::chrono::steady_clock::now();
     const TransitionPlan bootstrap = PlanTransition(empty, config);
+    const double plan_ms = collect ? MsSince(plan_start) : 0.0;
     sim.ApplyConfig(config, 0.0, &bootstrap);
     ++result.transitions;
     result.bootstrap_transfer_tuples = sim.TotalTransferredTuples();
+    if (collect) {
+      metrics::Count("sim.transitions");
+      AnnotateTransition(/*sim_time_s=*/0.0, /*applied=*/true, bootstrap,
+                         plan_ms, MsSince(bootstrap_start));
+    }
   }
   ConfigIndex index(config);
 
@@ -95,8 +147,11 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
 
     // Periodic (or adaptive, §7-extension) reconfiguration + transition.
     while (options.periodic_reconfigure && now >= next_reconfigure) {
+      const auto round_start = std::chrono::steady_clock::now();
       ClusterConfig next = system->BuildConfig();
+      const auto plan_start = std::chrono::steady_clock::now();
       const TransitionPlan plan = PlanTransition(config, next);
+      const double plan_ms = collect ? MsSince(plan_start) : 0.0;
       bool apply = true;
       if (options.adaptive_reconfigure) {
         const double stored =
@@ -113,8 +168,15 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
         config = std::move(next);
         index = ConfigIndex(config);
         ++result.transitions;
+        metrics::Count("sim.transitions");
       } else {
         ++result.transitions_skipped;
+        metrics::Count("sim.transitions_skipped");
+      }
+      if (collect) {
+        const double round_ms = MsSince(round_start);
+        metrics::Observe("sim.reconfig_round_ms", round_ms);
+        AnnotateTransition(next_reconfigure, apply, plan, plan_ms, round_ms);
       }
       next_reconfigure += check_interval;
     }
@@ -143,6 +205,11 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       for (const RoutedRead& rr : routed) {
         const bool first_use = nodes_used.insert(rr.node).second;
         const TupleCount tuples = requests[rr.request_index].tuples;
+        if (collect) {
+          metrics::Count("routing.requests");
+          metrics::Observe("routing.queue_wait_s",
+                           sim.WaitSeconds(rr.node, now));
+        }
         const SimTime done = sim.EnqueueRead(rr.node, tuples, now, first_use);
         completion = std::max(completion, done);
         record.tuples_read += tuples;
@@ -152,6 +219,11 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     record.completion = completion;
     record.latency_s = completion - now;
     record.span = nodes_used.size();
+    if (collect) {
+      metrics::Count("routing.queries");
+      metrics::Observe("routing.span", static_cast<double>(record.span));
+      metrics::Observe("routing.latency_s", record.latency_s);
+    }
     result.makespan_s = std::max(result.makespan_s, completion);
     result.records.push_back(record);
   }
@@ -160,6 +232,14 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   result.transferred_tuples = sim.TotalTransferredTuples();
   result.read_tuples = sim.TotalReadTuples();
   result.final_nodes = config.node_count();
+  if (collect) {
+    metrics::SetGauge("sim.makespan_s", result.makespan_s);
+    metrics::SetGauge("sim.final_nodes",
+                      static_cast<double>(result.final_nodes));
+    metrics::SetGauge("sim.total_cost", result.total_cost);
+    result.metrics_json = metrics::Registry::Global().SnapshotJson();
+    metrics::Registry::Global().Disable();
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define NASHDB_ENGINE_DRIVER_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "cluster/sim.h"
@@ -47,6 +48,13 @@ struct DriverOptions {
   bool adaptive_reconfigure = false;
   SimTime adaptive_check_interval_s = 600.0;
   double adaptive_min_change = 0.02;
+
+  /// Enable the global metrics registry (common/metrics.h) for the
+  /// duration of the run and store its JSON snapshot on
+  /// RunResult::metrics_json. The registry is reset at run start, so the
+  /// snapshot covers exactly this run. Disable for overhead-sensitive
+  /// benchmarking (the disabled recording path is one atomic load).
+  bool collect_metrics = true;
 };
 
 /// Per-query outcome of a run.
@@ -75,6 +83,11 @@ struct RunResult {
   std::size_t transitions_skipped = 0;
   SimTime makespan_s = 0.0;
   std::size_t final_nodes = 0;
+  /// JSON snapshot of the metrics registry at run end (counters, gauges,
+  /// histograms, per-reconfiguration traces); empty when
+  /// DriverOptions::collect_metrics was false. Schema: DESIGN.md
+  /// "Observability".
+  std::string metrics_json;
 
   double MeanLatency() const;
   double TailLatency(double percentile) const;

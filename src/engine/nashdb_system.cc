@@ -1,13 +1,16 @@
 #include "engine/nashdb_system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iterator>
 #include <map>
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "replication/incremental.h"
+#include "replication/nash.h"
 #include "replication/packer.h"
 
 namespace nashdb {
@@ -51,7 +54,35 @@ std::size_t NashDbSystem::MaxFragsFor(TupleCount table_size) const {
   return max_frags;
 }
 
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 ClusterConfig NashDbSystem::BuildConfig() {
+  // Per-round trace (§4 estimation + §5 fragmentation + §6 replication
+  // sections; the driver annotates the §7 transition section afterwards).
+  // Everything below that exists only to feed the trace is gated on
+  // `collect`, so a disabled registry costs one relaxed load here.
+  const bool collect = metrics::Enabled();
+  metrics::ReconfigTrace trace;
+  if (collect) {
+    trace.round = metrics::Registry::Global().reconfig_count();
+    trace.window_scans = estimator_->window_scans();
+    for (TableId t : estimator_->ActiveTables()) {
+      const ValueEstimationTree* tree = estimator_->tree(t);
+      ++trace.active_tables;
+      trace.tree_nodes += tree->node_count();
+      trace.tree_height_max = std::max(trace.tree_height_max, tree->Height());
+    }
+    trace.estimator_bytes = estimator_->SizeBytes();
+  }
+
   ReplicationParams params;
   params.node_cost = options_.node_cost;
   params.node_disk = options_.node_disk;
@@ -76,8 +107,22 @@ ClusterConfig NashDbSystem::BuildConfig() {
                                   : options_.reconfig_threads;
   if (!pool_ && threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
 
+  const std::uint64_t dc_runs_before =
+      collect ? metrics::Registry::Global().CounterValue("frag.dp_dc_runs")
+              : 0;
+  const std::uint64_t quad_runs_before =
+      collect
+          ? metrics::Registry::Global().CounterValue("frag.dp_quadratic_runs")
+          : 0;
+  // Per-task wall times and Eq. 4 errors land in private slots (the tasks
+  // run concurrently) and are folded into the trace after the join.
+  std::vector<double> task_ms(collect ? tables.size() : 0, 0.0);
+  std::vector<Money> task_err(collect ? tables.size() : 0, 0.0);
+  const auto frag_start = std::chrono::steady_clock::now();
+
   std::vector<std::vector<FragmentInfo>> per_table(tables.size());
   ParallelFor(pool_.get(), tables.size(), [&](std::size_t ti) {
+    const auto task_start = std::chrono::steady_clock::now();
     const TableSpec& table = *tables[ti];
     const ValueProfile profile =
         estimator_->Profile(table.id, table.tuples);
@@ -114,7 +159,34 @@ ClusterConfig NashDbSystem::BuildConfig() {
         start = end;
       }
     }
+    if (collect) {
+      task_err[ti] = SchemeError(scheme, profile);
+      task_ms[ti] = MsSince(task_start);
+    }
   });
+
+  if (collect) {
+    trace.frag_ms = MsSince(frag_start);
+    trace.tables_fragmented = tables.size();
+    trace.threads = threads;
+    double busy_ms = 0.0;
+    for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+      trace.scheme_error += task_err[ti];
+      busy_ms += task_ms[ti];
+    }
+    if (trace.frag_ms > 0.0) {
+      trace.thread_utilization =
+          busy_ms / (static_cast<double>(threads) * trace.frag_ms);
+    }
+    trace.frag_dc_runs = static_cast<std::size_t>(
+        metrics::Registry::Global().CounterValue("frag.dp_dc_runs") -
+        dc_runs_before);
+    trace.frag_quadratic_runs = static_cast<std::size_t>(
+        metrics::Registry::Global().CounterValue("frag.dp_quadratic_runs") -
+        quad_runs_before);
+    metrics::Observe("frag.refragment_ms", trace.frag_ms);
+    metrics::SetGauge("frag.thread_utilization", trace.thread_utilization);
+  }
 
   std::vector<FragmentInfo> fragments;
   for (std::vector<FragmentInfo>& tf : per_table) {
@@ -122,7 +194,13 @@ ClusterConfig NashDbSystem::BuildConfig() {
                      std::make_move_iterator(tf.end()));
   }
 
+  const auto replication_start = std::chrono::steady_clock::now();
   DecideReplication(params, &fragments);
+
+  if (collect) {
+    trace.fragments = fragments.size();
+    for (const FragmentInfo& f : fragments) trace.ideal_replicas += f.replicas;
+  }
 
   // Replica-count hysteresis: keep (approximately) the previous count
   // when the fresh Eq. 9 ideal only flutters around it — sampling noise
@@ -180,6 +258,34 @@ ClusterConfig NashDbSystem::BuildConfig() {
           : PackReplicasBffd(params, std::move(fragments));
   NASHDB_CHECK(packed.ok()) << packed.status().ToString();
   last_config_ = std::make_unique<ClusterConfig>(*packed);
+
+  if (collect) {
+    const ClusterConfig& config = *last_config_;
+    trace.replication_ms = MsSince(replication_start);
+    for (const FragmentInfo& f : config.fragments()) {
+      trace.placed_replicas += f.replicas;
+    }
+    trace.nodes = config.node_count();
+    if (trace.nodes > 0) {
+      trace.disk_fill =
+          static_cast<double>(config.TotalStoredTuples()) /
+          (static_cast<double>(trace.nodes) *
+           static_cast<double>(params.node_disk));
+    }
+    // Definition 6.1 audit; min_replicas floors are exempt (they force
+    // replicas above the economic ideal by design).
+    const NashReport nash =
+        CheckNashEquilibrium(config, /*exempt_min_replicas=*/true);
+    trace.nash_equilibrium = nash.is_equilibrium;
+    trace.nash_violation = nash.violation;
+    metrics::Count("replication.builds");
+    if (!nash.is_equilibrium) metrics::Count("replication.nash_violations");
+    metrics::SetGauge("replication.disk_fill", trace.disk_fill);
+    metrics::SetGauge("replication.nodes",
+                      static_cast<double>(trace.nodes));
+    metrics::Observe("replication.decide_pack_ms", trace.replication_ms);
+    metrics::Registry::Global().RecordReconfig(std::move(trace));
+  }
   return std::move(packed).value();
 }
 

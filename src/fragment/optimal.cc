@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "fragment/fragmenter.h"
 
@@ -256,8 +257,14 @@ FragmentationScheme OptimalFragmenter::Refragment(
   if (k == 1) {
     path = {0, m};
   } else if (algorithm == Algorithm::kQuadratic) {
+    // Which solver ran (after kAuto resolution) — the per-reconfiguration
+    // trace diffs these to report the kAuto split per round.
+    metrics::Count("frag.dp_quadratic_runs");
+    metrics::ScopedTimerMs timer("frag.dp_ms");
     path = SolveQuadratic(seg_err, m, k);
   } else {
+    metrics::Count("frag.dp_dc_runs");
+    metrics::ScopedTimerMs timer("frag.dp_ms");
     path = SolveDivideAndConquer(seg_err, m, k, options_.pool);
   }
 

@@ -21,6 +21,7 @@
 #include "baselines/market_sim.h"
 #include "baselines/threshold_system.h"
 #include "cluster/sim.h"
+#include "common/metrics.h"
 #include "common/query.h"
 #include "common/random.h"
 #include "common/stats.h"

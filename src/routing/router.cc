@@ -141,7 +141,10 @@ std::vector<RoutedRead> PowerOfTwoRouter::Route(
     NASHDB_CHECK(!cand.empty());
     NodeId pick;
     if (cand.size() <= 2) {
-      // Fewer than two replicas: degenerate to exhaustive choice.
+      // Two or fewer replicas: a d=2 sample without replacement would
+      // examine every candidate anyway, so evaluate them all and pick the
+      // best deterministically (no RNG draw). Sampling only kicks in when
+      // there are strictly more than two candidates.
       pick = cand.front();
       for (NodeId m : cand) {
         const double w = waits[m] + (used[m] ? 0.0 : phi_s);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "transition/hungarian.h"
 
 namespace nashdb {
@@ -67,6 +68,7 @@ TupleCount NodeData::TuplesNotIn(const NodeData& other) const {
 
 TransitionPlan PlanTransition(const ClusterConfig& old_config,
                               const ClusterConfig& new_config) {
+  metrics::ScopedTimerMs timer("transition.plan_ms");
   const std::size_t n_old = old_config.node_count();
   const std::size_t n_new = new_config.node_count();
   TransitionPlan plan;
@@ -118,6 +120,9 @@ TransitionPlan PlanTransition(const ClusterConfig& old_config,
     plan.total_transfer_tuples += move.transfer_tuples;
     plan.moves.push_back(move);
   }
+  metrics::Count("transition.plans");
+  metrics::Count("transition.planned_transfer_tuples",
+                 plan.total_transfer_tuples);
   return plan;
 }
 

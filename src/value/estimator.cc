@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace nashdb {
 
@@ -21,10 +22,12 @@ void TupleValueEstimator::AddScan(const Scan& scan) {
                           oldest.NormalizedPrice());
     if (it->second.empty()) trees_.erase(it);
     buffer_.pop_front();
+    metrics::Count("value.scans_evicted");
   }
   buffer_.push_back(scan);
   trees_[scan.table].AddScan(scan.range.start, scan.range.end,
                              scan.NormalizedPrice());
+  metrics::Count("value.scans_added");
 }
 
 void TupleValueEstimator::AddQuery(const Query& query) {

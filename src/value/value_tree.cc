@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "common/logging.h"
@@ -9,8 +10,11 @@
 namespace nashdb {
 
 namespace {
-// Tolerance below which an S/E accumulator is considered zero. Prices are
-// sums and differences of doubles; exact cancellation cannot be relied on.
+// Tolerance below which an accumulated value is considered floating-point
+// noise (IterateValues chunk suppression). Deliberately NOT used to decide
+// node lifetime: a live scan's normalized price can be far below any fixed
+// epsilon (price 1e-6 over 1e7 tuples is 1e-13), so liveness is tracked by
+// the per-key contribution counts below instead of a magnitude test.
 constexpr Money kEps = 1e-12;
 }  // namespace
 
@@ -20,6 +24,11 @@ struct TreeNode {
   TupleIndex key;
   Money s = 0.0;  // summed normalized price of scans starting here
   Money e = 0.0;  // summed normalized price of scans ending here
+  // Number of buffered scans contributing to s / e. A node may be deleted
+  // only when both counts reach zero; when one does, its accumulator is
+  // snapped to exactly 0.0, discarding cancellation residue.
+  std::uint32_t s_count = 0;
+  std::uint32_t e_count = 0;
   int height = 1;
   Money subtree_delta = 0.0;  // sum of (s - e) over this subtree
   std::unique_ptr<TreeNode> left;
@@ -100,8 +109,10 @@ bool AddAt(std::unique_ptr<Node>* root, TupleIndex key, Money amount,
     *root = std::make_unique<Node>(key);
     if (is_start) {
       (*root)->s = amount;
+      (*root)->s_count = 1;
     } else {
       (*root)->e = amount;
+      (*root)->e_count = 1;
     }
     Update(root->get());
     return true;
@@ -114,8 +125,10 @@ bool AddAt(std::unique_ptr<Node>* root, TupleIndex key, Money amount,
   } else {
     if (is_start) {
       (*root)->s += amount;
+      ++(*root)->s_count;
     } else {
       (*root)->e += amount;
+      ++(*root)->e_count;
     }
   }
   Rebalance(root);
@@ -222,14 +235,27 @@ void ValueEstimationTree::RemoveScan(TupleIndex start, TupleIndex end,
     NASHDB_CHECK(n != nullptr)
         << "RemoveScan for a scan not present in the tree (key=" << key
         << ")";
+    // Liveness is decided by the contribution counts, never by the
+    // magnitude of the accumulator: an epsilon test would wipe a co-keyed
+    // live scan whose normalized price is below the tolerance, and its own
+    // later eviction would then CHECK-fail on the missing node. When the
+    // last contributor leaves, the accumulator is snapped to exactly 0.0
+    // so cancellation residue cannot leak into the value function.
     if (is_start) {
+      NASHDB_CHECK_GT(n->s_count, 0u)
+          << "RemoveScan start without a matching AddScan (key=" << key
+          << ")";
+      --n->s_count;
       n->s -= np;
-      if (std::abs(n->s) < kEps) n->s = 0.0;
+      if (n->s_count == 0) n->s = 0.0;
     } else {
+      NASHDB_CHECK_GT(n->e_count, 0u)
+          << "RemoveScan end without a matching AddScan (key=" << key << ")";
+      --n->e_count;
       n->e -= np;
-      if (std::abs(n->e) < kEps) n->e = 0.0;
+      if (n->e_count == 0) n->e = 0.0;
     }
-    if (n->s == 0.0 && n->e == 0.0) {
+    if (n->s_count == 0 && n->e_count == 0) {
       DeleteAt(&root_, key);
       --node_count_;
     } else {
@@ -285,6 +311,12 @@ void ValueEstimationTree::CheckInvariants() const {
       if (!n) return 0;
       if (lo) NASHDB_CHECK_GT(n->key, *lo);
       if (hi) NASHDB_CHECK_LT(n->key, *hi);
+      // A node exists iff some buffered scan still references its key, and
+      // an accumulator with no contributors must have been snapped to 0.
+      NASHDB_CHECK(n->s_count > 0 || n->e_count > 0)
+          << "zombie node at key " << n->key;
+      if (n->s_count == 0) NASHDB_CHECK_EQ(n->s, 0.0);
+      if (n->e_count == 0) NASHDB_CHECK_EQ(n->e, 0.0);
       NASHDB_CHECK_LE(std::abs(BalanceFactor(n)), 1);
       NASHDB_CHECK_EQ(
           n->height, 1 + std::max(HeightOf(n->left), HeightOf(n->right)));

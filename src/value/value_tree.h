@@ -49,8 +49,11 @@ class ValueEstimationTree {
   void AddScan(TupleIndex start, TupleIndex end, Money np);
 
   /// Removes a previously-added scan: decrements S at `start` and E at
-  /// `end`, deleting any node whose S and E both reach zero. O(log n).
-  /// The (start, end, np) triple must match a prior AddScan.
+  /// `end`. Each node tracks how many buffered scans contribute to its S
+  /// and E; a node is deleted only when both counts reach zero (a
+  /// magnitude test would wipe co-keyed live scans with tiny normalized
+  /// prices). O(log n). The (start, end, np) triple must match a prior
+  /// AddScan.
   void RemoveScan(TupleIndex start, TupleIndex end, Money np);
 
   /// Un-averaged cumulative value at tuple x: sum of S(n) - E(n) over all

@@ -2,11 +2,13 @@
 // evaluation (§10) must hold on small instances of the same experiments.
 
 #include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "baselines/hypergraph_system.h"
 #include "baselines/threshold_system.h"
+#include "common/metrics.h"
 #include "engine/driver.h"
 #include "engine/nashdb_system.h"
 #include "fragment/fragmenter.h"
@@ -287,6 +289,60 @@ TEST(ElasticityIntegrationTest, ClusterFollowsLoad) {
   }
   const std::size_t lull = sys.BuildConfig().node_count();
   EXPECT_GT(spike, lull);
+}
+
+// The end-to-end metrics snapshot (the tentpole of the observability
+// layer): one dynamic TPC-H run must produce a JSON snapshot covering all
+// six pipeline stages — estimation, fragmentation, replication, transition,
+// routing, and the sim loop.
+TEST(MetricsIntegrationTest, SnapshotCoversEveryPipelineStage) {
+  TpchOptions topts;
+  topts.db_gb = 3.0;
+  topts.num_queries = 44;
+  topts.arrival_span_s = 4.0 * 3600.0;  // 4 hours => several hourly rounds
+  const Workload wl = MakeTpchWorkload(topts);
+  NashDbSystem sys(wl.dataset, EngineOptions());
+  MaxOfMinsRouter router;
+  DriverOptions dopts = FastSim();
+  dopts.prewarm_scans = 10;
+  dopts.collect_metrics = true;
+  const RunResult r = RunWorkload(wl, &sys, &router, dopts);
+
+  const std::string& js = r.metrics_json;
+  ASSERT_FALSE(js.empty());
+  for (const char* marker : {
+           // snapshot sections
+           "\"counters\"", "\"gauges\"", "\"histograms\"",
+           "\"reconfigurations\"",
+           // §4 estimation
+           "value.scans_added", "\"window_scans\"", "\"tree_nodes\"",
+           // §5 fragmentation
+           "frag.refragment_ms", "\"scheme_error\"", "\"thread_utilization\"",
+           // §6 replication
+           "replication.disk_fill", "\"nash_equilibrium\"",
+           "\"placed_replicas\"",
+           // §7 transition
+           "transition.plan_ms", "\"planned_transfer_tuples\"",
+           // §8 routing
+           "routing.span", "routing.queue_wait_s",
+           // sim/driver loop
+           "sim.reconfig_round_ms", "sim.transitions",
+       }) {
+    EXPECT_NE(js.find(marker), std::string::npos)
+        << "snapshot missing " << marker;
+  }
+  // One trace per BuildConfig round (bootstrap + periodic).
+  EXPECT_GE(r.transitions + r.transitions_skipped, 2u);
+  // The run disabled the registry again on exit.
+  EXPECT_FALSE(metrics::Enabled());
+
+  // The same run with collection off produces no snapshot and leaves the
+  // registry untouched.
+  NashDbSystem sys2(wl.dataset, EngineOptions());
+  DriverOptions quiet = dopts;
+  quiet.collect_metrics = false;
+  const RunResult r2 = RunWorkload(wl, &sys2, &router, quiet);
+  EXPECT_TRUE(r2.metrics_json.empty());
 }
 
 }  // namespace

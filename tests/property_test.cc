@@ -363,5 +363,50 @@ TEST(TransitionPropertyTest, PlanTransferMatchesPerMoveSum) {
   }
 }
 
+// --------------------------------------- adversarial-price tree churn
+
+// Interleaves AddScan and window eviction with normalized prices spanning
+// 19 orders of magnitude (1e-13 .. 1e6) over a tiny key space, so co-keyed
+// scans with wildly different magnitudes are constantly created and
+// evicted. Tree invariants (including the contribution-count liveness
+// rules) and profile materialization must hold after every single step —
+// the old epsilon-based node eviction died within a few dozen steps of
+// this loop.
+class AdversarialPriceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AdversarialPriceTest, TreeInvariantsSurviveExtremePriceChurn) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  constexpr std::size_t kWindow = 16;
+  constexpr TupleIndex kKeys = 24;  // tiny key space forces co-keyed scans
+  constexpr TupleCount kTableSize = 64;
+  // Normalized prices from 1e-13 (far below any float epsilon) to 1e6.
+  const Money kNp[] = {1e-13, 1e-9, 1e-4, 1.0, 1e3, 1e6};
+
+  TupleValueEstimator est(kWindow);
+  for (int step = 0; step < 500; ++step) {
+    Scan s;
+    s.table = static_cast<TableId>(rng.Uniform(2));
+    const TupleIndex a = rng.Uniform(kKeys);
+    s.range = TupleRange{a, a + 1 + rng.Uniform(kKeys)};
+    // price = np * size, so NormalizedPrice() lands exactly on np.
+    s.price = kNp[rng.Uniform(6)] * static_cast<Money>(s.range.size());
+    est.AddScan(s);
+
+    for (TableId t : {TableId{0}, TableId{1}}) {
+      if (const ValueEstimationTree* tree = est.tree(t)) {
+        tree->CheckInvariants();
+      }
+      // Profile materialization must not choke on extreme magnitudes.
+      const ValueProfile profile = est.Profile(t, kTableSize);
+      EXPECT_EQ(profile.table_size(), kTableSize) << "seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialPriceTest,
+                         ::testing::Values(1u, 17u, 4242u));
+
 }  // namespace
 }  // namespace nashdb

@@ -199,5 +199,54 @@ TEST(SpanOfTest, CountsDistinctNodes) {
   EXPECT_EQ(SpanOf({{0, 3}, {1, 3}, {2, 5}}), 2u);
 }
 
+// With exactly two replicas, a d=2 sample without replacement would draw
+// both candidates anyway, so the router evaluates them exhaustively and
+// deterministically — no RNG draw. Pin that: every seed must make the same
+// (best-wait) pick.
+TEST(PowerOfTwoTest, TwoCandidatesPickedExhaustivelyAndDeterministically) {
+  const std::vector<FragmentRequest> reqs = {Req(0, 100, {0, 1})};
+  for (std::uint64_t seed : {1u, 7u, 42u, 12345u}) {
+    PowerOfTwoRouter router(seed);
+    const auto routed = router.Route(reqs, {5.0, 1.0}, 0.001, 0.0);
+    ASSERT_EQ(routed.size(), 1u);
+    EXPECT_EQ(routed[0].node, 1u) << "seed=" << seed;
+  }
+}
+
+TEST(PowerOfTwoTest, TwoCandidatesRespectSpanPenalty) {
+  // Node 1 has the shorter queue, but the φ span penalty applies only to
+  // nodes not yet used by this query; with φ = 3 the already-used node 0
+  // (wait 2.0) beats node 1 (wait 0.5 + φ = 3.5) for the second request.
+  const std::vector<FragmentRequest> reqs = {Req(0, 100, {0}),
+                                             Req(1, 100, {0, 1})};
+  PowerOfTwoRouter router(1);
+  const auto routed = router.Route(reqs, {2.0, 0.5}, 0.0, 3.0);
+  ASSERT_EQ(routed.size(), 2u);
+  EXPECT_EQ(routed[0].node, 0u);
+  EXPECT_EQ(routed[1].node, 0u);
+}
+
+TEST(PowerOfTwoTest, SingleCandidateAlwaysPicked) {
+  const std::vector<FragmentRequest> reqs = {Req(0, 10, {3})};
+  PowerOfTwoRouter router(9);
+  const auto routed = router.Route(reqs, {0.0, 0.0, 0.0, 9.0}, 0.001, 0.35);
+  ASSERT_EQ(routed.size(), 1u);
+  EXPECT_EQ(routed[0].node, 3u);
+}
+
+TEST(PowerOfTwoTest, ManyCandidatesStillRouteValidly) {
+  Rng rng(77);
+  std::vector<FragmentRequest> reqs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    reqs.push_back(Req(static_cast<FlatFragmentId>(i), 10 + rng.Uniform(100),
+                       {0, 1, 2, 3, 4, 5}));
+  }
+  PowerOfTwoRouter router(5);
+  const auto routed = router.Route(reqs, std::vector<double>(6, 0.0), 0.001,
+                                   0.35);
+  ASSERT_EQ(routed.size(), reqs.size());
+  for (const RoutedRead& rr : routed) EXPECT_LT(rr.node, 6u);
+}
+
 }  // namespace
 }  // namespace nashdb

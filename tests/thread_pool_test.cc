@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/stats.h"
+
 namespace nashdb {
 namespace {
 
@@ -124,6 +126,63 @@ TEST(ThreadPoolTest, ScheduleRunsSubmittedTasks) {
   // tasks run before the loop blocks finish claiming.
   while (done.load() < 100) std::this_thread::yield();
   EXPECT_EQ(count.load(), 100);
+}
+
+// Percentile() used to sort the sample vector lazily without a lock, so
+// two concurrent readers raced inside std::sort on shared state — a
+// use-after-move/segfault under contention and a guaranteed TSan report.
+// Reachable since the reconfiguration pipeline went multithreaded; run
+// this under NASHDB_SANITIZE=thread (ctest -L tsan) to prove the fix.
+TEST(PercentileTrackerTest, ConcurrentAddAndPercentileAreSafe) {
+  PercentileTracker tracker;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kPerWriter = 5'000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&tracker, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        tracker.Add(static_cast<double>(w * kPerWriter + i));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&tracker, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double p95 = tracker.Percentile(95.0);
+        const double p50 = tracker.Percentile(50.0);
+        EXPECT_GE(p95, p50);
+        (void)tracker.mean();
+        (void)tracker.count();
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true);
+  for (std::size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(tracker.count(),
+            static_cast<std::size_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(tracker.Percentile(0.0), 0.0);
+  EXPECT_EQ(tracker.Percentile(100.0),
+            static_cast<double>(kWriters * kPerWriter - 1));
+}
+
+// Interleaved sorted reads and unsorted appends: the lazy re-sort must
+// keep answers exact at every point, not just after the final Add.
+TEST(PercentileTrackerTest, ResortsAfterInterleavedAdds) {
+  PercentileTracker tracker;
+  tracker.Add(10.0);
+  tracker.Add(0.0);
+  EXPECT_EQ(tracker.Percentile(100.0), 10.0);  // triggers the first sort
+  tracker.Add(20.0);                           // invalidates sorted state
+  EXPECT_EQ(tracker.Percentile(100.0), 20.0);
+  EXPECT_EQ(tracker.Percentile(0.0), 0.0);
+  EXPECT_EQ(tracker.count(), 3u);
+  EXPECT_NEAR(tracker.mean(), 10.0, 1e-12);
 }
 
 }  // namespace

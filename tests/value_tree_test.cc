@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "value/estimator.h"
 #include "value/value_tree.h"
 
 namespace nashdb {
@@ -191,6 +192,78 @@ TEST(ValueTreeTest, MoveConstruction) {
   ValueEstimationTree b(std::move(a));
   EXPECT_NEAR(b.RawValueAt(5), 2.0, 1e-12);
   EXPECT_EQ(b.node_count(), 2u);
+}
+
+// Regression: a scan whose normalized price is below the old epsilon
+// (1e-12 — e.g. price 1e-6 over 1e7 tuples) used to be wiped from a shared
+// key when a co-keyed large scan was removed: the magnitude snap zeroed the
+// ~1e-13 residue, the node was deleted, and the tiny scan's own later
+// eviction CHECK-failed on the missing node. Liveness is now decided by
+// per-key contribution counts, so the node must survive and the tiny scan
+// must remain individually removable.
+TEST(ValueTreeTest, TinyPriceCoKeyedScanSurvivesLargeRemoval) {
+  constexpr Money kTinyNp = 1e-13;
+  ValueEstimationTree tree;
+  tree.AddScan(0, 100, 1.0);     // keys 0 (S) and 100 (E)
+  tree.AddScan(0, 50, kTinyNp);  // shares start key 0; adds key 50 (E)
+  ASSERT_EQ(tree.node_count(), 3u);
+
+  tree.RemoveScan(0, 100, 1.0);
+  tree.CheckInvariants();
+  // Key 0 still carries the tiny scan's S contribution; key 100 is gone.
+  // The surviving accumulator holds (1.0 + 1e-13) - 1.0, i.e. the tiny
+  // price up to double cancellation error — crucially nonzero and ~1e-13,
+  // not snapped away.
+  EXPECT_EQ(tree.node_count(), 2u);
+  EXPECT_GT(tree.RawValueAt(25), 0.0);
+  EXPECT_NEAR(tree.RawValueAt(25), kTinyNp, 1e-15);
+
+  // The tiny scan's own eviction must find its node and empty the tree.
+  tree.RemoveScan(0, 50, kTinyNp);
+  tree.CheckInvariants();
+  EXPECT_TRUE(tree.empty());
+}
+
+// Same latent crash, driven through the estimator's window eviction: with
+// a window of 2, adding a third scan evicts the large co-keyed scan, and
+// adding a fourth evicts the tiny one — which used to die on the node the
+// first eviction deleted.
+TEST(ValueTreeTest, TinyPriceScanSurvivesWindowEviction) {
+  TupleValueEstimator est(2);
+  auto scan = [](TupleIndex a, TupleIndex b, Money price) {
+    Scan s;
+    s.table = 0;
+    s.range = TupleRange{a, b};
+    s.price = price;
+    return s;
+  };
+  est.AddScan(scan(0, 100, 100.0));  // np = 1.0
+  est.AddScan(scan(0, 50, 5e-12));   // np = 1e-13, shares start key 0
+  est.AddScan(scan(200, 300, 1.0));  // evicts the large scan
+  est.tree(0)->CheckInvariants();
+  est.AddScan(scan(200, 300, 1.0));  // evicts the tiny scan (crashed before)
+  est.tree(0)->CheckInvariants();
+  EXPECT_EQ(est.tree(0)->node_count(), 2u);  // only keys 200 and 300 remain
+}
+
+// When the last contributor of a key's accumulator leaves, the accumulator
+// is snapped to exactly 0.0 — cancellation residue from unordered float
+// adds must not leak into the value function.
+TEST(ValueTreeTest, AccumulatorSnapsToZeroWhenLastContributorLeaves) {
+  ValueEstimationTree tree;
+  // a and b chosen so (a + b) - b - a != 0 in double arithmetic: without
+  // the snap, key 10's E accumulator would keep the residue and skew
+  // delta() for as long as the key stays alive through its S side.
+  const Money a = 0.1, b = 1e17, c = 1.0;
+  tree.AddScan(0, 10, a);
+  tree.AddScan(0, 10, b);
+  tree.AddScan(10, 20, c);  // key 10 now carries E(a + b) and S(c)
+  tree.RemoveScan(0, 10, b);
+  tree.RemoveScan(0, 10, a);  // E at key 10 loses its last contributor
+  tree.CheckInvariants();     // checks e_count == 0 implies e == 0.0
+  EXPECT_EQ(tree.RawValueAt(15), c);  // exactly c: no residue in delta
+  tree.RemoveScan(10, 20, c);
+  EXPECT_TRUE(tree.empty());
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Repo health check: builds and runs the tier-1 suite in a plain build,
+# then the suite again in a thread-sanitized build (NASHDB_SANITIZE=thread)
+# to catch data races in the multithreaded reconfiguration pipeline.
+#
+# Usage: tools/check.sh [--quick]
+#   --quick   in the TSan pass, run only the concurrency-labelled tests
+#             (ctest -L tsan) instead of the full suite.
+#
+# Build trees: ./build (plain) and ./build-tsan. Existing trees are reused;
+# no generator is forced, so whatever the tree was configured with stays.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== plain build + tier-1 tests =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
+
+echo
+echo "== thread-sanitized build =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DNASHDB_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+if [[ "${QUICK}" == "1" ]]; then
+  ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
+else
+  ctest --test-dir build-tsan -L tier1 --output-on-failure -j "${JOBS}"
+fi
+
+echo
+echo "check.sh: all suites green"

@@ -38,6 +38,7 @@ struct Flags {
   std::size_t max_replicas = 128;
   double interval_s = 3600.0;       // reconfiguration interval
   bool adaptive = false;
+  std::string metrics_path;         // write the metrics snapshot here
   bool help = false;
 };
 
@@ -57,7 +58,9 @@ void PrintHelp() {
       "  --block=N          average fragment tuples (default 4000)\n"
       "  --max-replicas=N   replica cap (default 128)\n"
       "  --interval=SECONDS reconfiguration interval (default 3600)\n"
-      "  --adaptive         adaptive transition detection\n");
+      "  --adaptive         adaptive transition detection\n"
+      "  --metrics=PATH     write the end-to-end metrics/trace snapshot\n"
+      "                     (JSON; see DESIGN.md \"Observability\")\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -80,7 +83,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.adaptive = true;
     } else if (ParseFlag(a, "--workload", &f.workload) ||
                ParseFlag(a, "--system", &f.system) ||
-               ParseFlag(a, "--router", &f.router)) {
+               ParseFlag(a, "--router", &f.router) ||
+               ParseFlag(a, "--metrics", &f.metrics_path)) {
     } else if (ParseFlag(a, "--scale", &v)) {
       f.scale = std::atof(v.c_str());
     } else if (ParseFlag(a, "--price", &v)) {
@@ -263,5 +267,16 @@ int main(int argc, char** argv) {
   std::printf("data served        : %10.1f GB\n",
               static_cast<double>(r.read_tuples) / 1000.0);
   std::printf("makespan           : %10.1f h\n", r.makespan_s / 3600.0);
+  if (!f.metrics_path.empty() && !r.metrics_json.empty()) {
+    std::FILE* mf = std::fopen(f.metrics_path.c_str(), "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   f.metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(mf, "%s\n", r.metrics_json.c_str());
+    std::fclose(mf);
+    std::printf("metrics snapshot   : %s\n", f.metrics_path.c_str());
+  }
   return 0;
 }
