@@ -75,7 +75,7 @@ int main() {
       router.Route(requests, waits, /*read_seconds_per_tuple=*/1e-4,
                    /*phi_s=*/0.35);
   std::printf("Scan [85000, 95000) -> %zu fragment reads over %zu nodes\n",
-              routed.size(), SpanOf(routed));
+              routed->size(), SpanOf(*routed));
 
   // --- 6. Workload shift: the hot range moves; NashDB recomputes the
   // scheme and plans the cheapest node-to-node transition (Kuhn-Munkres).

@@ -1,0 +1,278 @@
+#include "cluster/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace nashdb {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ConsumePrefix(std::string_view* s, std::string_view prefix) {
+  if (s->substr(0, prefix.size()) != prefix) return false;
+  s->remove_prefix(prefix.size());
+  return true;
+}
+
+/// Parses a leading non-negative double, consuming it. False on no parse.
+bool ConsumeDouble(std::string_view* s, double* out) {
+  const std::string buf(*s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || v < 0.0) return false;
+  s->remove_prefix(static_cast<std::size_t>(end - buf.c_str()));
+  *out = v;
+  return true;
+}
+
+bool ConsumeNodeId(std::string_view* s, NodeId* out) {
+  if (!ConsumePrefix(s, "n")) return false;
+  double v = 0.0;
+  if (!ConsumeDouble(s, &v) || v != std::floor(v)) return false;
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+/// Optional ":for=D" suffix; defaults to kNeverRecovers.
+bool ConsumeDuration(std::string_view* s, SimTime* out) {
+  *out = kNeverRecovers;
+  if (s->empty()) return true;
+  if (!ConsumePrefix(s, ":for=")) return false;
+  double v = 0.0;
+  if (!ConsumeDouble(s, &v)) return false;
+  *out = v;
+  return s->empty();
+}
+
+Status BadClause(std::string_view clause) {
+  return Status::InvalidArgument("bad --faults clause: '" +
+                                 std::string(clause) + "' (see --help)");
+}
+
+}  // namespace
+
+Result<FaultSpec> FaultSpec::Parse(std::string_view spec) {
+  FaultSpec out;
+  while (!spec.empty()) {
+    const std::size_t sep = spec.find(';');
+    std::string_view clause = Trim(spec.substr(0, sep));
+    spec = sep == std::string_view::npos ? std::string_view()
+                                         : spec.substr(sep + 1);
+    if (clause.empty()) continue;
+    std::string_view rest = clause;
+    FaultEvent ev;
+    if (ConsumePrefix(&rest, "crash@")) {
+      ev.type = FaultType::kCrash;
+      if (!ConsumeDouble(&rest, &ev.time) || !ConsumePrefix(&rest, ":") ||
+          !ConsumeNodeId(&rest, &ev.node) ||
+          !ConsumeDuration(&rest, &ev.duration_s)) {
+        return BadClause(clause);
+      }
+      out.scripted.push_back(ev);
+    } else if (ConsumePrefix(&rest, "recover@")) {
+      ev.type = FaultType::kRecover;
+      if (!ConsumeDouble(&rest, &ev.time) || !ConsumePrefix(&rest, ":") ||
+          !ConsumeNodeId(&rest, &ev.node) || !rest.empty()) {
+        return BadClause(clause);
+      }
+      out.scripted.push_back(ev);
+    } else if (ConsumePrefix(&rest, "slow@")) {
+      ev.type = FaultType::kSlowdown;
+      if (!ConsumeDouble(&rest, &ev.time) || !ConsumePrefix(&rest, ":") ||
+          !ConsumeNodeId(&rest, &ev.node) || !ConsumePrefix(&rest, ":x") ||
+          !ConsumeDouble(&rest, &ev.factor) ||
+          !ConsumeDuration(&rest, &ev.duration_s)) {
+        return BadClause(clause);
+      }
+      if (ev.factor <= 0.0 || ev.factor > 1.0) return BadClause(clause);
+      out.scripted.push_back(ev);
+    } else if (ConsumePrefix(&rest, "interrupt@")) {
+      ev.type = FaultType::kInterrupt;
+      if (!ConsumeDouble(&rest, &ev.time) || !rest.empty()) {
+        return BadClause(clause);
+      }
+      out.scripted.push_back(ev);
+    } else if (ConsumePrefix(&rest, "mttf=")) {
+      if (!ConsumeDouble(&rest, &out.mttf_s) || !rest.empty() ||
+          out.mttf_s <= 0.0) {
+        return BadClause(clause);
+      }
+    } else if (ConsumePrefix(&rest, "mttr=")) {
+      if (!ConsumeDouble(&rest, &out.mttr_s) || !rest.empty()) {
+        return BadClause(clause);
+      }
+    } else if (ConsumePrefix(&rest, "straggle-every=")) {
+      if (!ConsumeDouble(&rest, &out.straggle_every_s) || !rest.empty() ||
+          out.straggle_every_s <= 0.0) {
+        return BadClause(clause);
+      }
+    } else if (ConsumePrefix(&rest, "straggle-for=")) {
+      if (!ConsumeDouble(&rest, &out.straggle_for_s) || !rest.empty()) {
+        return BadClause(clause);
+      }
+    } else if (ConsumePrefix(&rest, "straggle-x=")) {
+      if (!ConsumeDouble(&rest, &out.straggle_factor) || !rest.empty() ||
+          out.straggle_factor <= 0.0 || out.straggle_factor > 1.0) {
+        return BadClause(clause);
+      }
+    } else if (ConsumePrefix(&rest, "pinterrupt=")) {
+      if (!ConsumeDouble(&rest, &out.interrupt_prob) || !rest.empty() ||
+          out.interrupt_prob > 1.0) {
+        return BadClause(clause);
+      }
+    } else {
+      return BadClause(clause);
+    }
+  }
+  std::stable_sort(out.scripted.begin(), out.scripted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+FaultScheduler::FaultScheduler(FaultSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  if (spec_.mttf_s > 0.0) next_crash_ = DrawExponential(spec_.mttf_s);
+  if (spec_.straggle_every_s > 0.0) {
+    next_straggle_ = DrawExponential(spec_.straggle_every_s);
+  }
+}
+
+SimTime FaultScheduler::DrawExponential(double mean_s) {
+  // Inverse-CDF; NextDouble() < 1 keeps the log argument positive.
+  return clock_ + -mean_s * std::log(1.0 - rng_.NextDouble());
+}
+
+NodeId FaultScheduler::PickLiveVictim(const ClusterSim& sim, SimTime at) {
+  std::vector<NodeId> live;
+  live.reserve(sim.node_count());
+  for (NodeId m = 0; m < sim.node_count(); ++m) {
+    if (sim.NodeAlive(m, at)) live.push_back(m);
+  }
+  if (live.empty()) return kInvalidNode;
+  return live[static_cast<std::size_t>(rng_.Uniform(live.size()))];
+}
+
+std::vector<FaultEvent> FaultScheduler::AdvanceTo(SimTime now,
+                                                  ClusterSim* sim) {
+  NASHDB_DCHECK(now >= clock_) << "fault clock moved backwards";
+  std::vector<FaultEvent> delivered;
+  for (;;) {
+    // Earliest pending event; strict < keeps the scripted > crash >
+    // straggle priority on exact ties, so replays are stable.
+    enum { kScripted, kStochCrash, kStochStraggle } src = kScripted;
+    SimTime t = next_scripted_ < spec_.scripted.size()
+                    ? spec_.scripted[next_scripted_].time
+                    : kNeverRecovers;
+    if (next_crash_ < t) {
+      t = next_crash_;
+      src = kStochCrash;
+    }
+    if (next_straggle_ < t) {
+      t = next_straggle_;
+      src = kStochStraggle;
+    }
+    if (t > now) break;
+    clock_ = t;
+
+    FaultEvent ev;
+    if (src == kScripted) {
+      ev = spec_.scripted[next_scripted_++];
+      switch (ev.type) {
+        case FaultType::kCrash:
+          if (ev.node >= sim->node_count() || !sim->NodeAlive(ev.node, t)) {
+            ++stats_.dropped_events;
+            continue;
+          }
+          sim->FailNode(ev.node, t, t + ev.duration_s);
+          ++stats_.crashes;
+          break;
+        case FaultType::kRecover:
+          if (ev.node >= sim->node_count() || sim->NodeAlive(ev.node, t)) {
+            ++stats_.dropped_events;
+            continue;
+          }
+          sim->RecoverNode(ev.node, t);
+          ++stats_.recoveries;
+          break;
+        case FaultType::kSlowdown:
+          if (ev.node >= sim->node_count() || !sim->NodeAlive(ev.node, t)) {
+            ++stats_.dropped_events;
+            continue;
+          }
+          sim->SlowNode(ev.node, ev.factor, t + ev.duration_s);
+          ++stats_.slowdowns;
+          break;
+        case FaultType::kInterrupt:
+          pending_scripted_interrupt_ = true;
+          break;
+      }
+    } else if (src == kStochCrash) {
+      next_crash_ = DrawExponential(spec_.mttf_s);
+      const NodeId victim = PickLiveVictim(*sim, t);
+      if (victim == kInvalidNode) {
+        ++stats_.dropped_events;
+        continue;
+      }
+      ev.type = FaultType::kCrash;
+      ev.time = t;
+      ev.node = victim;
+      ev.duration_s = spec_.mttr_s > 0.0
+                          ? -spec_.mttr_s * std::log(1.0 - rng_.NextDouble())
+                          : kNeverRecovers;
+      // MTTR recoveries are implicit: FailNode records the revival time,
+      // so future-time liveness queries see it without another event.
+      sim->FailNode(victim, t, t + ev.duration_s);
+      ++stats_.crashes;
+    } else {
+      next_straggle_ = DrawExponential(spec_.straggle_every_s);
+      const NodeId victim = PickLiveVictim(*sim, t);
+      if (victim == kInvalidNode) {
+        ++stats_.dropped_events;
+        continue;
+      }
+      ev.type = FaultType::kSlowdown;
+      ev.time = t;
+      ev.node = victim;
+      ev.factor = spec_.straggle_factor;
+      ev.duration_s = spec_.straggle_for_s;
+      sim->SlowNode(victim, ev.factor, t + ev.duration_s);
+      ++stats_.slowdowns;
+    }
+    delivered.push_back(ev);
+  }
+  clock_ = now;
+  return delivered;
+}
+
+std::vector<std::size_t> FaultScheduler::InterruptedMoves(
+    const TransitionPlan& plan, SimTime now) {
+  (void)now;
+  std::vector<std::size_t> interrupted;
+  const bool all = pending_scripted_interrupt_;
+  pending_scripted_interrupt_ = false;
+  for (std::size_t i = 0; i < plan.moves.size(); ++i) {
+    if (plan.moves[i].transfer_tuples == 0) continue;
+    if (all || (spec_.interrupt_prob > 0.0 &&
+                rng_.Bernoulli(spec_.interrupt_prob))) {
+      interrupted.push_back(i);
+    }
+  }
+  stats_.transfer_interrupts += interrupted.size();
+  return interrupted;
+}
+
+}  // namespace nashdb

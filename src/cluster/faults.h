@@ -1,0 +1,137 @@
+#ifndef NASHDB_CLUSTER_FAULTS_H_
+#define NASHDB_CLUSTER_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/sim.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "transition/planner.h"
+
+namespace nashdb {
+
+/// Kind of one injected fault event.
+enum class FaultType {
+  kCrash,         ///< Crash-stop node failure (backlog lost).
+  kRecover,       ///< Explicit revival of a dead node.
+  kSlowdown,      ///< Straggler onset: per-node throughput multiplier.
+  kInterrupt,     ///< Mid-transition transfer interruption marker.
+};
+
+/// One scripted fault event. `node` addresses the cluster node occupying
+/// that id *at delivery time* (node identities are carried across
+/// transitions by the plan's old→new matching); events naming a node id
+/// outside the current cluster, or crashes of already-dead nodes, are
+/// dropped and counted.
+struct FaultEvent {
+  SimTime time = 0.0;
+  FaultType type = FaultType::kCrash;
+  NodeId node = kInvalidNode;
+  /// kSlowdown: throughput multiplier in (0, 1].
+  double factor = 1.0;
+  /// kCrash / kSlowdown: seconds until auto-recovery / speed restore
+  /// (kNeverRecovers = until explicit recovery or replacement).
+  SimTime duration_s = kNeverRecovers;
+};
+
+/// A complete fault scenario: scripted events plus stochastic models.
+/// Parsed from the `--faults` spec string, whose grammar is
+/// semicolon-separated clauses (whitespace ignored):
+///
+///   crash@T:nID[:for=D]     crash node ID at time T, recover after D s
+///   recover@T:nID           revive node ID at time T
+///   slow@T:nID:xF[:for=D]   node ID serves at F x nominal from T (for D s)
+///   interrupt@T             the next transition at/after T restarts every
+///                           transfer once
+///   mttf=S                  stochastic crash-stop: exponential
+///                           inter-crash time with mean S seconds
+///                           (cluster-wide); victim uniform among live
+///   mttr=S                  crashed nodes recover after Exp(S) seconds
+///                           (omitted = crashes are permanent)
+///   straggle-every=S        stochastic straggler onsets, Exp(S) apart
+///   straggle-for=S          straggler episode length (default 600)
+///   straggle-x=F            straggler speed factor (default 0.25)
+///   pinterrupt=P            each transition transfer restarts once with
+///                           probability P
+///
+/// Example: "mttf=1800;mttr=600;slow@3600:n0:x0.25;pinterrupt=0.05".
+struct FaultSpec {
+  std::vector<FaultEvent> scripted;  ///< Sorted by time (stable).
+  double mttf_s = 0.0;               ///< 0 = no stochastic crashes.
+  double mttr_s = 0.0;               ///< 0 = stochastic crashes permanent.
+  double straggle_every_s = 0.0;     ///< 0 = no stochastic stragglers.
+  double straggle_for_s = 600.0;
+  double straggle_factor = 0.25;
+  double interrupt_prob = 0.0;
+
+  /// True when the spec injects anything at all.
+  bool Active() const {
+    return !scripted.empty() || mttf_s > 0.0 || straggle_every_s > 0.0 ||
+           interrupt_prob > 0.0;
+  }
+
+  /// Parses the `--faults` grammar above. Returns InvalidArgument with a
+  /// clause-level message on malformed input.
+  static Result<FaultSpec> Parse(std::string_view spec);
+};
+
+/// Tallies of everything a FaultScheduler delivered (all simulated-time
+/// driven, hence deterministic for a fixed spec + seed).
+struct FaultStats {
+  std::size_t crashes = 0;
+  std::size_t recoveries = 0;
+  std::size_t slowdowns = 0;
+  std::size_t dropped_events = 0;
+  std::size_t transfer_interrupts = 0;
+};
+
+/// Deterministic fault event source: replays scripted events and draws
+/// stochastic ones (crash/recover via an MTTF/MTTR model, straggler
+/// episodes, transfer interruptions) from a seeded Rng, delivering them
+/// into a ClusterSim as simulated-time state changes. All randomness
+/// comes from the single seed, and delivery happens on the (serial)
+/// driver loop, so identical spec + seed reproduce the exact same fault
+/// history regardless of host, run, or reconfiguration thread count.
+class FaultScheduler {
+ public:
+  FaultScheduler(FaultSpec spec, std::uint64_t seed);
+
+  /// Delivers every event due at or before `now` into `sim`, in event
+  /// time order, and returns the delivered events (with stochastic
+  /// victims resolved) for driver-side accounting. Monotonic: `now` must
+  /// not go backwards across calls.
+  std::vector<FaultEvent> AdvanceTo(SimTime now, ClusterSim* sim);
+
+  /// Indices of `plan->moves` whose transfer is interrupted and must
+  /// restart once, for a transition applied at `now`: every move with a
+  /// non-empty transfer when a scripted `interrupt@T <= now` is pending,
+  /// plus independent Bernoulli(interrupt_prob) draws per move.
+  std::vector<std::size_t> InterruptedMoves(const TransitionPlan& plan,
+                                            SimTime now);
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  /// Next stochastic crash/straggle onset times (kNeverRecovers = model
+  /// disabled or exhausted).
+  SimTime DrawExponential(double mean_s);
+  /// Uniformly random live node at `at`, or kInvalidNode if none.
+  NodeId PickLiveVictim(const ClusterSim& sim, SimTime at);
+
+  FaultSpec spec_;
+  Rng rng_;
+  std::size_t next_scripted_ = 0;
+  SimTime next_crash_ = kNeverRecovers;
+  SimTime next_straggle_ = kNeverRecovers;
+  SimTime clock_ = 0.0;
+  bool pending_scripted_interrupt_ = false;
+  FaultStats stats_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_CLUSTER_FAULTS_H_

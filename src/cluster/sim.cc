@@ -20,27 +20,63 @@ void ClusterSim::ApplyConfig(const ClusterConfig& config, SimTime now,
   cost_marker_time_ = now;
   billed_nodes_ = config.node_count();
 
-  // Remap queue backlogs: new node j inherits the backlog of the old node
-  // matched to it by the plan (a transitioned machine keeps its pending
-  // work); fresh nodes start idle.
-  std::vector<SimTime> new_busy(config.node_count(), now);
+  const std::size_t n_old = busy_until_.size();
+  const std::size_t n_new = config.node_count();
+  std::vector<SimTime> new_busy(n_new, now);
+  std::vector<SimTime> new_down(n_new, 0.0);
+  std::vector<SimTime> new_slow(n_new, 0.0);
+  std::vector<double> new_speed(n_new, 1.0);
+
   if (plan != nullptr) {
+    const Money drain_rate = options_.node_cost_per_hour / 3600.0;
+    std::vector<bool> old_covered(n_old, false);
     for (const NodeTransition& move : plan->moves) {
-      if (move.new_node == kInvalidNode) continue;
-      SimTime base = now;
-      if (move.old_node != kInvalidNode &&
-          move.old_node < busy_until_.size()) {
-        base = std::max(base, busy_until_[move.old_node]);
+      const bool old_valid =
+          move.old_node != kInvalidNode && move.old_node < n_old;
+      if (old_valid) old_covered[move.old_node] = true;
+      if (move.new_node == kInvalidNode) {
+        // Decommissioned: the machine must drain its accepted reads
+        // before release, so its rent runs until the backlog empties.
+        // Billed up front at transition time. Dead nodes lost their
+        // backlog at crash time and release immediately.
+        if (old_valid && NodeAlive(move.old_node, now) &&
+            busy_until_[move.old_node] > now) {
+          accrued_cost_ += drain_rate * (busy_until_[move.old_node] - now);
+        }
+        continue;
       }
-      // The receiving node must ingest its missing tuples before serving
-      // new reads.
+      SimTime base = now;
+      if (old_valid && NodeAlive(move.old_node, now)) {
+        // A transitioned machine keeps its pending work and fault state.
+        base = std::max(base, busy_until_[move.old_node]);
+        new_slow[move.new_node] = slow_until_[move.old_node];
+        new_speed[move.new_node] = speed_factor_[move.old_node];
+      }
+      // A dead matched machine is replaced by a fresh (alive, idle) one;
+      // the failure-aware planner priced the full copy into
+      // `transfer_tuples`. The receiving node must ingest its missing
+      // tuples before serving new reads.
       const SimTime transfer_s = static_cast<double>(move.transfer_tuples) /
                                  options_.transfer_tuples_per_second;
       new_busy[move.new_node] = base + transfer_s;
       transferred_tuples_ += move.transfer_tuples;
     }
+    // Old nodes the plan never mentions (hand-built plans) are released
+    // like decommissioned ones: drain rent, then gone — never silently
+    // truncated.
+    for (std::size_t m = 0; m < n_old; ++m) {
+      if (!old_covered[m] && NodeAlive(static_cast<NodeId>(m), now) &&
+          busy_until_[m] > now) {
+        accrued_cost_ += drain_rate * (busy_until_[m] - now);
+      }
+    }
   }
+  // plan == nullptr: teleport semantics — all per-node state (backlog,
+  // liveness, speed) starts fresh; see the header contract.
   busy_until_ = std::move(new_busy);
+  down_until_ = std::move(new_down);
+  slow_until_ = std::move(new_slow);
+  speed_factor_ = std::move(new_speed);
 }
 
 SimTime ClusterSim::WaitSeconds(NodeId node, SimTime now) const {
@@ -51,12 +87,55 @@ SimTime ClusterSim::WaitSeconds(NodeId node, SimTime now) const {
 SimTime ClusterSim::EnqueueRead(NodeId node, TupleCount tuples, SimTime now,
                                 bool first_use_by_query) {
   NASHDB_CHECK_LT(node, busy_until_.size());
+  NASHDB_CHECK(NodeAlive(node, now)) << "read routed to dead node " << node;
   SimTime start = std::max(busy_until_[node], now);
   if (first_use_by_query) start += options_.span_overhead_s;
-  const SimTime done = start + ReadSeconds(tuples);
+  const double speed = NodeSpeed(node, now);
+  const SimTime done = start + ReadSeconds(tuples) / speed;
   busy_until_[node] = done;
   read_tuples_ += tuples;
   return done;
+}
+
+void ClusterSim::ChargeTransfer(NodeId node, TupleCount tuples, SimTime now) {
+  NASHDB_CHECK_LT(node, busy_until_.size());
+  NASHDB_CHECK(NodeAlive(node, now))
+      << "transfer charged to dead node " << node;
+  const SimTime transfer_s = static_cast<double>(tuples) /
+                             options_.transfer_tuples_per_second;
+  busy_until_[node] = std::max(busy_until_[node], now) + transfer_s;
+  transferred_tuples_ += tuples;
+}
+
+void ClusterSim::FailNode(NodeId node, SimTime now, SimTime recover_at) {
+  NASHDB_CHECK_LT(node, busy_until_.size());
+  NASHDB_CHECK_GE(recover_at, now);
+  // Crash-stop: queued work is lost; the machine comes back (if ever)
+  // with an empty queue. Completions already handed to queries stand (the
+  // sim accounts them eagerly at enqueue time).
+  busy_until_[node] = now;
+  down_until_[node] = recover_at;
+}
+
+void ClusterSim::RecoverNode(NodeId node, SimTime now) {
+  NASHDB_CHECK_LT(node, busy_until_.size());
+  down_until_[node] = now;
+  busy_until_[node] = std::max(busy_until_[node], now);
+}
+
+void ClusterSim::SlowNode(NodeId node, double factor, SimTime until) {
+  NASHDB_CHECK_LT(node, busy_until_.size());
+  NASHDB_CHECK_GT(factor, 0.0);
+  speed_factor_[node] = factor;
+  slow_until_[node] = until;
+}
+
+std::size_t ClusterSim::LiveNodeCount(SimTime at) const {
+  std::size_t live = 0;
+  for (std::size_t m = 0; m < down_until_.size(); ++m) {
+    if (at >= down_until_[m]) ++live;
+  }
+  return live;
 }
 
 Money ClusterSim::AccruedCost(SimTime now) const {

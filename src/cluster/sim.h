@@ -2,6 +2,7 @@
 #define NASHDB_CLUSTER_SIM_H_
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "common/types.h"
@@ -25,12 +26,29 @@ struct ClusterSimOptions {
   Money node_cost_per_hour = 10.0;
 };
 
+/// Sentinel recovery time for crash-stop failures with no scheduled
+/// repair: the node stays dead until a transition replaces it or an
+/// explicit RecoverNode event revives it.
+inline constexpr SimTime kNeverRecovers =
+    std::numeric_limits<SimTime>::infinity();
+
 /// Discrete "virtual time" simulator for an elastic cluster executing
 /// fragment reads. Queries are admitted in arrival order; each node is a
 /// FIFO resource whose backlog is tracked as the time at which it next
 /// falls idle. The wait time W(m) exposed to routers is exactly the
 /// paper's §8 queue model (pending work, measured in seconds of disk
 /// time).
+///
+/// Failure model (see DESIGN.md §8): every node additionally carries
+/// liveness (`down_until_`) and a throughput multiplier (`speed_factor_`
+/// until `slow_until_`), both indexed by simulated time so that scheduled
+/// recoveries are visible to future-time queries (the driver's retry
+/// logic). Crash-stop semantics: a crash discards the node's queued
+/// backlog (the work is lost; already-recorded query completions are not
+/// revised — the sim accounts completions eagerly at enqueue time) and
+/// the node rejects reads until its recovery time. A dead node keeps
+/// accruing rent: it is provisioned until a transition decommissions or
+/// replaces it, matching cloud billing.
 class ClusterSim {
  public:
   explicit ClusterSim(const ClusterSimOptions& options);
@@ -38,10 +56,25 @@ class ClusterSim {
   const ClusterSimOptions& options() const { return options_; }
 
   /// Replaces the active configuration at simulated time `now`.
-  /// If `plan` is non-null, each receiving node's queue is charged the
-  /// transfer time for the tuples copied onto it, and transfer volume is
-  /// added to the running transfer counter. Rent accrual switches to the
-  /// new node count from `now` onward.
+  ///
+  /// With a plan, each receiving node's queue is charged the transfer
+  /// time for the tuples copied onto it, transfer volume is added to the
+  /// running counter, and per-node state follows the plan's old→new
+  /// matching: a transitioned machine keeps its backlog, liveness, and
+  /// speed state; a machine that is *dead* at `now` is replaced by a
+  /// fresh one (alive, idle, full speed — the failure-aware planner
+  /// already priced the full re-copy); a decommissioned machine
+  /// (new_node == kInvalidNode) is billed for the rent needed to drain
+  /// its remaining backlog before release (dead nodes have none). Old
+  /// nodes missing from the plan entirely are treated as decommissioned.
+  ///
+  /// With `plan == nullptr` the call is an explicit "teleport": every
+  /// node of the new configuration starts fresh (idle, alive, full
+  /// speed), no transfer or drain rent is charged, and all previous
+  /// per-node state — including backlog on removed nodes — is
+  /// deliberately dropped. Tests and bootstrap shortcuts use this mode.
+  /// Rent accrual switches to the new node count from `now` onward in
+  /// both modes.
   void ApplyConfig(const ClusterConfig& config, SimTime now,
                    const TransitionPlan* plan);
 
@@ -50,16 +83,48 @@ class ClusterSim {
   /// Seconds of queued work remaining on `node` at time `now` (>= 0).
   SimTime WaitSeconds(NodeId node, SimTime now) const;
 
-  /// Seconds needed to read `tuples` from disk.
+  /// Seconds needed to read `tuples` from disk at nominal speed.
   SimTime ReadSeconds(TupleCount tuples) const {
     return static_cast<double>(tuples) / options_.tuples_per_second;
   }
 
   /// Enqueues a fragment read of `tuples` on `node` for a query arriving
   /// at `now`; if `first_use_by_query`, the span overhead is charged
-  /// first. Returns the completion time.
+  /// first. The node must be alive at `now` (CHECK). Service time is
+  /// divided by the node's speed factor at enqueue time (a straggling
+  /// node serves slowly). Returns the completion time.
   SimTime EnqueueRead(NodeId node, TupleCount tuples, SimTime now,
                       bool first_use_by_query);
+
+  /// Adds `tuples` of transfer ingest to a live node's queue outside a
+  /// transition (e.g. re-sending an interrupted transfer) and counts the
+  /// volume.
+  void ChargeTransfer(NodeId node, TupleCount tuples, SimTime now);
+
+  // --- Fault state (driven by FaultScheduler or tests) -------------------
+
+  /// Crash-stop failure: `node` drops its queued backlog and rejects
+  /// reads until `recover_at` (kNeverRecovers = until explicitly
+  /// recovered or replaced by a transition).
+  void FailNode(NodeId node, SimTime now, SimTime recover_at);
+
+  /// Revives a dead node at `now` with an empty queue.
+  void RecoverNode(NodeId node, SimTime now);
+
+  /// Straggler: `node` serves reads at `factor` (0 < factor <= 1) times
+  /// the nominal rate for reads enqueued before `until`.
+  void SlowNode(NodeId node, double factor, SimTime until);
+
+  bool NodeAlive(NodeId node, SimTime at) const {
+    return at >= down_until_[node];
+  }
+  /// Time at which `node` is next alive (<= `at` if already alive);
+  /// kNeverRecovers when the node needs repair or explicit recovery.
+  SimTime DownUntil(NodeId node) const { return down_until_[node]; }
+  double NodeSpeed(NodeId node, SimTime at) const {
+    return at < slow_until_[node] ? speed_factor_[node] : 1.0;
+  }
+  std::size_t LiveNodeCount(SimTime at) const;
 
   /// Total rent accrued through `now` (cents).
   Money AccruedCost(SimTime now) const;
@@ -73,6 +138,11 @@ class ClusterSim {
  private:
   ClusterSimOptions options_;
   std::vector<SimTime> busy_until_;
+  /// Node m is dead while t < down_until_[m] (0 = always alive so far).
+  std::vector<SimTime> down_until_;
+  /// speed_factor_[m] applies to reads enqueued before slow_until_[m].
+  std::vector<SimTime> slow_until_;
+  std::vector<double> speed_factor_;
   // Rent accounting: cost accrued up to `cost_marker_time_` plus
   // node_count * rate afterwards.
   Money accrued_cost_ = 0.0;

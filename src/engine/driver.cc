@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <memory>
 #include <set>
 #include <utility>
 
+#include "cluster/faults.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/stats.h"
 #include "engine/config_index.h"
+#include "replication/incremental.h"
 #include "transition/planner.h"
 
 namespace nashdb {
@@ -49,25 +53,33 @@ void AnnotateTransition(SimTime sim_time_s, bool applied,
 }  // namespace
 
 double RunResult::MeanLatency() const {
-  if (records.empty()) return 0.0;
   double sum = 0.0;
-  for (const QueryRecord& r : records) sum += r.latency_s;
-  return sum / static_cast<double>(records.size());
+  std::size_t n = 0;
+  for (const QueryRecord& r : records) {
+    if (r.aborted) continue;
+    sum += r.latency_s;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
 double RunResult::TailLatency(double percentile) const {
   PercentileTracker tracker;
-  for (const QueryRecord& r : records) tracker.Add(r.latency_s);
+  for (const QueryRecord& r : records) {
+    if (!r.aborted) tracker.Add(r.latency_s);
+  }
   return tracker.Percentile(percentile);
 }
 
 double RunResult::MeanSpan() const {
-  if (records.empty()) return 0.0;
   double sum = 0.0;
+  std::size_t n = 0;
   for (const QueryRecord& r : records) {
+    if (r.aborted) continue;
     sum += static_cast<double>(r.span);
+    ++n;
   }
-  return sum / static_cast<double>(records.size());
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
 std::vector<std::pair<double, double>> RunResult::ThroughputPerMinute()
@@ -142,15 +154,136 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   SimTime next_reconfigure = check_interval;
   const double spt = 1.0 / options.sim.tuples_per_second;
 
+  // --- Fault machinery. All of it is driven from this (serial) loop at
+  // simulated-time boundaries, so a given spec + seed replays the exact
+  // same fault history regardless of host or reconfiguration threads.
+  const bool faults_on = options.faults.spec.Active();
+  std::unique_ptr<FaultScheduler> fault_sched;
+  if (faults_on) {
+    fault_sched = std::make_unique<FaultScheduler>(options.faults.spec,
+                                                   options.faults.seed);
+  }
+  // Crash delivery times not yet resolved by a repair/transition, for the
+  // faults.time_to_repair_s histogram.
+  std::vector<SimTime> pending_crashes;
+
+  // Delivers every fault due by `at` into the sim. Monotonic across the
+  // run (the loop only ever calls it with non-decreasing times).
+  const auto deliver_faults = [&](SimTime at) {
+    if (!fault_sched) return;
+    for (const FaultEvent& ev : fault_sched->AdvanceTo(at, &sim)) {
+      if (ev.type == FaultType::kCrash) pending_crashes.push_back(ev.time);
+    }
+  };
+
+  const auto dead_bitmap = [&](SimTime at) {
+    std::vector<bool> dead(config.node_count(), false);
+    for (NodeId m = 0; m < config.node_count(); ++m) {
+      dead[m] = !sim.NodeAlive(m, at);
+    }
+    return dead;
+  };
+
+  // True if some placed fragment has fewer live replicas than
+  // min(placed, repair_min_live) at `at` — the emergency-repair trigger.
+  const auto coverage_at_risk = [&](SimTime at) {
+    for (FlatFragmentId fid = 0; fid < config.fragments().size(); ++fid) {
+      const std::vector<NodeId>& homes = config.FragmentNodes(fid);
+      if (homes.empty()) continue;  // deliberately unreplicated
+      std::size_t live = 0;
+      for (NodeId m : homes) {
+        if (sim.NodeAlive(m, at)) ++live;
+      }
+      if (live < std::min(homes.size(), options.faults.repair_min_live)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Any applied transition replaces dead machines with fresh ones (the
+  // failure-aware plan prices the re-copy), so it doubles as a repair:
+  // settle the time-to-repair clock for every pending crash.
+  const auto settle_repairs = [&](SimTime at) {
+    if (pending_crashes.empty()) return;
+    if (collect) {
+      for (SimTime t : pending_crashes) {
+        metrics::Observe("faults.time_to_repair_s", at - t);
+      }
+    }
+    pending_crashes.clear();
+  };
+
+  // Re-sends the transfers a fault interrupted mid-transition: each
+  // restarted copy is charged to the receiving node's queue again.
+  const auto charge_interruptions = [&](const TransitionPlan& plan,
+                                        SimTime at) {
+    if (!fault_sched) return;
+    for (std::size_t i : fault_sched->InterruptedMoves(plan, at)) {
+      const NodeTransition& move = plan.moves[i];
+      if (move.new_node == kInvalidNode) continue;
+      sim.ChargeTransfer(move.new_node, move.transfer_tuples, at);
+      if (collect) {
+        metrics::Count("faults.transfer_interrupts");
+        metrics::Count("faults.interrupted_retransfer_tuples",
+                       move.transfer_tuples);
+      }
+    }
+  };
+
+  // Emergency re-replication (tentpole): when a delivered crash left some
+  // fragment under-covered, rebuild the placement without the dead nodes
+  // and apply the minimal-transfer repair immediately.
+  const auto maybe_repair = [&](SimTime at) {
+    if (!faults_on || !options.faults.emergency_repair) return;
+    if (pending_crashes.empty()) return;
+    if (!coverage_at_risk(at)) {
+      // Recoveries (or a scheduled transition) already restored coverage.
+      settle_repairs(at);
+      return;
+    }
+    if (collect) metrics::Count("faults.coverage_lost_events");
+    const std::vector<bool> dead = dead_bitmap(at);
+    Result<ClusterConfig> repaired = PlanEmergencyRepair(config, dead);
+    if (!repaired.ok()) {
+      // Degrade: keep running on the surviving replicas; retries and
+      // aborts absorb the gap.
+      if (collect) metrics::Count("faults.repair_failures");
+      pending_crashes.clear();
+      return;
+    }
+    const TransitionPlan plan = PlanTransition(config, *repaired, &dead);
+    sim.ApplyConfig(*repaired, at, &plan);
+    charge_interruptions(plan, at);
+    config = std::move(*repaired);
+    index = ConfigIndex(config);
+    system->NoteAppliedConfig(config);
+    ++result.transitions;
+    ++result.emergency_repairs;
+    result.repair_transfer_tuples += plan.total_transfer_tuples;
+    if (collect) {
+      metrics::Count("sim.transitions");
+      metrics::Count("faults.emergency_repairs");
+      metrics::Count("faults.repair_transfer_tuples",
+                     plan.total_transfer_tuples);
+    }
+    settle_repairs(at);
+  };
+
   for (const TimedQuery& tq : workload.queries) {
     const SimTime now = tq.arrival;
 
     // Periodic (or adaptive, §7-extension) reconfiguration + transition.
     while (options.periodic_reconfigure && now >= next_reconfigure) {
+      // The transition must see the cluster's true liveness at its time.
+      deliver_faults(next_reconfigure);
       const auto round_start = std::chrono::steady_clock::now();
       ClusterConfig next = system->BuildConfig();
       const auto plan_start = std::chrono::steady_clock::now();
-      const TransitionPlan plan = PlanTransition(config, next);
+      std::vector<bool> dead;
+      if (faults_on) dead = dead_bitmap(next_reconfigure);
+      const TransitionPlan plan =
+          PlanTransition(config, next, faults_on ? &dead : nullptr);
       const double plan_ms = collect ? MsSince(plan_start) : 0.0;
       bool apply = true;
       if (options.adaptive_reconfigure) {
@@ -165,10 +298,14 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       }
       if (apply) {
         sim.ApplyConfig(next, next_reconfigure, &plan);
+        charge_interruptions(plan, next_reconfigure);
         config = std::move(next);
         index = ConfigIndex(config);
         ++result.transitions;
         metrics::Count("sim.transitions");
+        // All machines are live right after an applied transition (dead
+        // ones were replaced), so pending crashes are repaired.
+        settle_repairs(next_reconfigure);
       } else {
         ++result.transitions_skipped;
         metrics::Count("sim.transitions_skipped");
@@ -180,6 +317,9 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       }
       next_reconfigure += check_interval;
     }
+
+    deliver_faults(now);
+    maybe_repair(now);
 
     if (!options.warmup_observe) system->Observe(tq.query);
 
@@ -194,36 +334,82 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       const std::vector<FragmentRequest> requests = index.RequestsFor(scan);
       if (requests.empty()) continue;
 
-      std::vector<double> waits(config.node_count(), 0.0);
-      for (NodeId m = 0; m < config.node_count(); ++m) {
-        waits[m] = sim.WaitSeconds(m, now);
-      }
-      const std::vector<RoutedRead> routed =
-          router->Route(requests, std::move(waits), spt, options.phi_s);
-      NASHDB_CHECK_EQ(routed.size(), requests.size());
-
-      for (const RoutedRead& rr : routed) {
-        const bool first_use = nodes_used.insert(rr.node).second;
-        const TupleCount tuples = requests[rr.request_index].tuples;
-        if (collect) {
-          metrics::Count("routing.requests");
-          metrics::Observe("routing.queue_wait_s",
-                           sim.WaitSeconds(rr.node, now));
+      // Retry loop: a scan whose live candidate set has a hole backs off
+      // and re-attempts at a later simulated time — scheduled recoveries
+      // are visible to future-time liveness queries, so waiting can
+      // succeed without any new event delivery.
+      SimTime attempt_time = now;
+      std::size_t attempts = 0;
+      for (;;) {
+        std::vector<FragmentRequest> live = requests;
+        if (faults_on) {
+          for (FragmentRequest& req : live) {
+            req.candidates.erase(
+                std::remove_if(req.candidates.begin(), req.candidates.end(),
+                               [&](NodeId m) {
+                                 return !sim.NodeAlive(m, attempt_time);
+                               }),
+                req.candidates.end());
+          }
         }
-        const SimTime done = sim.EnqueueRead(rr.node, tuples, now, first_use);
-        completion = std::max(completion, done);
-        record.tuples_read += tuples;
+        std::vector<double> waits(config.node_count(), 0.0);
+        for (NodeId m = 0; m < config.node_count(); ++m) {
+          waits[m] = sim.WaitSeconds(m, attempt_time);
+        }
+        Result<std::vector<RoutedRead>> routed =
+            router->Route(live, std::move(waits), spt, options.phi_s);
+        if (routed.ok()) {
+          NASHDB_CHECK_EQ(routed->size(), live.size());
+          for (const RoutedRead& rr : *routed) {
+            const bool first_use = nodes_used.insert(rr.node).second;
+            const TupleCount tuples = live[rr.request_index].tuples;
+            if (collect) {
+              metrics::Count("routing.requests");
+              metrics::Observe("routing.queue_wait_s",
+                               sim.WaitSeconds(rr.node, attempt_time));
+            }
+            const SimTime done =
+                sim.EnqueueRead(rr.node, tuples, attempt_time, first_use);
+            completion = std::max(completion, done);
+            record.tuples_read += tuples;
+          }
+          break;
+        }
+        // Coverage gap. Back off and retry, abort once out of budget.
+        ++attempts;
+        if (attempts > options.faults.max_scan_retries) {
+          record.aborted = true;
+          break;
+        }
+        const double backoff =
+            std::min(options.faults.retry_backoff_s *
+                         std::pow(2.0, static_cast<double>(attempts - 1)),
+                     options.faults.retry_backoff_cap_s);
+        attempt_time += backoff;
+        ++record.retries;
+        ++result.scan_retries;
+        if (collect) metrics::Count("faults.scan_retries");
+        if (attempt_time - now > options.faults.query_timeout_s) {
+          record.aborted = true;
+          break;
+        }
       }
+      if (record.aborted) break;
     }
 
     record.completion = completion;
     record.latency_s = completion - now;
     record.span = nodes_used.size();
-    if (collect) {
+    if (record.aborted) {
+      ++result.aborted_queries;
+      if (collect) metrics::Count("faults.query_aborts");
+    } else if (collect) {
       metrics::Count("routing.queries");
       metrics::Observe("routing.span", static_cast<double>(record.span));
       metrics::Observe("routing.latency_s", record.latency_s);
     }
+    // Reads enqueued before an abort still occupy their nodes, so the
+    // makespan advances either way.
     result.makespan_s = std::max(result.makespan_s, completion);
     result.records.push_back(record);
   }
@@ -232,6 +418,19 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   result.transferred_tuples = sim.TotalTransferredTuples();
   result.read_tuples = sim.TotalReadTuples();
   result.final_nodes = config.node_count();
+  if (fault_sched) {
+    const FaultStats& fs = fault_sched->stats();
+    result.crashes = fs.crashes;
+    if (collect) {
+      metrics::SetGauge("faults.crashes", static_cast<double>(fs.crashes));
+      metrics::SetGauge("faults.recoveries",
+                        static_cast<double>(fs.recoveries));
+      metrics::SetGauge("faults.slowdowns",
+                        static_cast<double>(fs.slowdowns));
+      metrics::SetGauge("faults.dropped_events",
+                        static_cast<double>(fs.dropped_events));
+    }
+  }
   if (collect) {
     metrics::SetGauge("sim.makespan_s", result.makespan_s);
     metrics::SetGauge("sim.final_nodes",

@@ -2,15 +2,44 @@
 #define NASHDB_ENGINE_DRIVER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "cluster/faults.h"
 #include "cluster/sim.h"
 #include "engine/system.h"
 #include "routing/router.h"
 #include "workload/workload.h"
 
 namespace nashdb {
+
+/// Fault injection and degraded-mode handling (DESIGN.md §8). Inactive
+/// unless `spec` injects something.
+struct FaultOptions {
+  /// The fault scenario (see FaultSpec for the --faults grammar).
+  FaultSpec spec;
+  /// Seed for all stochastic fault draws. Identical spec + seed replay
+  /// the exact same fault history (and faults.* metrics) on every run.
+  std::uint64_t seed = 0;
+
+  /// A scan whose live candidate set is empty (coverage gap) is retried
+  /// with capped exponential backoff: attempt k waits
+  /// min(retry_backoff_s * 2^(k-1), retry_backoff_cap_s). The query
+  /// aborts once a scan exhausts max_scan_retries or the total wait
+  /// exceeds query_timeout_s.
+  std::size_t max_scan_retries = 4;
+  double retry_backoff_s = 2.0;
+  double retry_backoff_cap_s = 120.0;
+  double query_timeout_s = 900.0;
+
+  /// React to coverage loss by re-replicating at-risk fragments (live
+  /// replicas below min(placed, repair_min_live)) onto surviving/fresh
+  /// nodes via the incremental planner, charging the copies through the
+  /// normal transfer model. Disable to measure pure degraded operation.
+  bool emergency_repair = true;
+  std::size_t repair_min_live = 2;
+};
 
 /// Knobs of one simulated end-to-end run.
 struct DriverOptions {
@@ -55,6 +84,9 @@ struct DriverOptions {
   /// snapshot covers exactly this run. Disable for overhead-sensitive
   /// benchmarking (the disabled recording path is one atomic load).
   bool collect_metrics = true;
+
+  /// Fault injection + failure handling; inactive by default.
+  FaultOptions faults;
 };
 
 /// Per-query outcome of a run.
@@ -66,6 +98,13 @@ struct QueryRecord {
   double latency_s = 0.0;
   std::size_t span = 0;          // distinct nodes used
   TupleCount tuples_read = 0;    // actual tuples read (block granularity)
+  /// Coverage-gap retries this query's scans went through.
+  std::size_t retries = 0;
+  /// True if the query gave up (retry budget or timeout exhausted under
+  /// node failures). Aborted records are excluded from the latency/span
+  /// aggregates; completion covers only the reads enqueued before the
+  /// abort.
+  bool aborted = false;
 };
 
 /// Aggregated outcome of one run.
@@ -83,15 +122,30 @@ struct RunResult {
   std::size_t transitions_skipped = 0;
   SimTime makespan_s = 0.0;
   std::size_t final_nodes = 0;
+  /// Fault-run outcomes (all zero when FaultOptions is inactive).
+  std::size_t crashes = 0;
+  std::size_t aborted_queries = 0;
+  std::size_t scan_retries = 0;
+  std::size_t emergency_repairs = 0;
+  /// Transfer volume spent restoring lost replicas (included in
+  /// transferred_tuples).
+  TupleCount repair_transfer_tuples = 0;
   /// JSON snapshot of the metrics registry at run end (counters, gauges,
   /// histograms, per-reconfiguration traces); empty when
   /// DriverOptions::collect_metrics was false. Schema: DESIGN.md
   /// "Observability".
   std::string metrics_json;
 
+  /// Latency/span aggregates over *completed* queries (aborted records
+  /// are skipped — an abort has no meaningful latency).
   double MeanLatency() const;
   double TailLatency(double percentile) const;
   double MeanSpan() const;
+
+  /// Queries that ran to completion (records minus aborted).
+  std::size_t CompletedQueries() const {
+    return records.size() - aborted_queries;
+  }
 
   /// Tuples read per minute-bucket of completion time (the paper's Fig. 11
   /// throughput series), as (minute, tuples).

@@ -289,6 +289,10 @@ ClusterConfig NashDbSystem::BuildConfig() {
   return std::move(packed).value();
 }
 
+void NashDbSystem::NoteAppliedConfig(const ClusterConfig& config) {
+  last_config_ = std::make_unique<ClusterConfig>(config);
+}
+
 void NashDbSystem::Reset() {
   estimator_ =
       std::make_unique<TupleValueEstimator>(options_.window_scans);

@@ -74,6 +74,11 @@ class NashDbSystem : public DistributionSystem {
   std::string_view name() const override { return "NashDB"; }
   void Observe(const Query& query) override;
   ClusterConfig BuildConfig() override;
+  /// Re-anchors incremental placement on `config`. The driver calls this
+  /// after applying an emergency-repair configuration so the next
+  /// BuildConfig packs against what the cluster actually holds instead of
+  /// the pre-failure layout.
+  void NoteAppliedConfig(const ClusterConfig& config) override;
   void Reset() override;
 
   const TupleValueEstimator& estimator() const { return *estimator_; }

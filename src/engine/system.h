@@ -25,6 +25,15 @@ class DistributionSystem {
   /// Computes a fresh cluster configuration from current statistics.
   virtual ClusterConfig BuildConfig() = 0;
 
+  /// Tells the system which configuration the cluster is actually running.
+  /// Normally that is the last BuildConfig() result, but the driver may
+  /// substitute a different one (e.g. an emergency-repair config after
+  /// node failures); systems that anchor incremental decisions on the
+  /// current placement should adopt it. Default: ignore.
+  virtual void NoteAppliedConfig(const ClusterConfig& config) {
+    (void)config;
+  }
+
   /// Drops all adaptation state (for reuse across experiment runs).
   virtual void Reset() = 0;
 };

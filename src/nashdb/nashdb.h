@@ -20,6 +20,7 @@
 #include "baselines/hypergraph_system.h"
 #include "baselines/market_sim.h"
 #include "baselines/threshold_system.h"
+#include "cluster/faults.h"
 #include "cluster/sim.h"
 #include "common/metrics.h"
 #include "common/query.h"

@@ -77,10 +77,17 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
 
   const std::size_t prev_nodes =
       previous == nullptr ? 0 : previous->node_count();
+  const auto unavailable = [&](std::size_t m) {
+    return m < prev_nodes && m < options.unavailable_prev_nodes.size() &&
+           options.unavailable_prev_nodes[m];
+  };
+  // Crashed previous nodes contribute no coverage and take no placements:
+  // they finish the repack empty, which decommissions them in elastic mode.
   std::vector<NodeIntervals> coverage;
   coverage.reserve(prev_nodes);
   for (NodeId m = 0; m < prev_nodes; ++m) {
-    coverage.push_back(IntervalsOf(*previous, m));
+    coverage.push_back(unavailable(m) ? NodeIntervals()
+                                      : IntervalsOf(*previous, m));
   }
 
   // Working placement state. Slots beyond prev_nodes are fresh nodes.
@@ -144,7 +151,8 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
     while (placed < count) {
       std::size_t best = node_frags.size();
       for (std::size_t m = 0; m < node_frags.size(); ++m) {
-        if (holds[idx][m] || node_used[m] + f.size() > params.node_disk) {
+        if (unavailable(m) || holds[idx][m] ||
+            node_used[m] + f.size() > params.node_disk) {
           continue;
         }
         if (best == node_frags.size() || node_used[m] < node_used[best]) {
@@ -271,6 +279,18 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
   }
 
   return BuildConfigFromPlacement(params, std::move(fragments), final_nodes);
+}
+
+Result<ClusterConfig> PlanEmergencyRepair(const ClusterConfig& config,
+                                          const std::vector<bool>& node_dead) {
+  IncrementalOptions options;
+  options.max_nodes = 0;  // elastic: replacements may be provisioned
+  options.unavailable_prev_nodes = node_dead;
+  // Same target fragments and replica counts; only the placement changes.
+  // Live replicas are reused via interval containment, so the repair
+  // transition copies exactly the lost replicas (plus any consolidation).
+  return RepackIncremental(config.params(), config.fragments(), &config,
+                           options);
 }
 
 }  // namespace nashdb

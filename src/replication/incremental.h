@@ -14,6 +14,14 @@ struct IncrementalOptions {
   /// Fixed cluster size (Threshold/Hypergraph baselines); 0 = elastic
   /// (grow as needed, drop empty nodes).
   std::size_t max_nodes = 0;
+
+  /// Previous nodes that cannot be reused (crashed machines). Indexed by
+  /// previous-config node id; shorter vectors are implicitly padded with
+  /// false. An unavailable node contributes no coverage, receives no
+  /// placements, and therefore ends the repack empty — in elastic mode it
+  /// is decommissioned (the transition planner then matches its
+  /// replacement as a fresh provision).
+  std::vector<bool> unavailable_prev_nodes;
 };
 
 /// Placement that minimizes churn across reconfigurations. A fresh
@@ -43,6 +51,19 @@ struct IncrementalOptions {
 Result<ClusterConfig> RepackIncremental(
     const ReplicationParams& params, std::vector<FragmentInfo> fragments,
     const ClusterConfig* previous, const IncrementalOptions& options = {});
+
+/// Emergency re-replication after node failures (degraded-mode repair):
+/// rebuilds `config` with the crashed nodes (`node_dead[m]`, indexed by
+/// `config` node id) excluded, restoring every fragment's replica count on
+/// the surviving nodes plus however many fresh nodes are needed. Replicas
+/// already on live nodes stay put, so the §7 transition prices only the
+/// lost copies; those are re-copied from the durable base store (dead
+/// nodes are priced as empty by the failure-aware PlanTransition), which
+/// is what makes even zero-live-replica fragments restorable. Returns the
+/// repaired configuration; fails only if fragments cannot fit (bubbled up
+/// from RepackIncremental).
+Result<ClusterConfig> PlanEmergencyRepair(const ClusterConfig& config,
+                                          const std::vector<bool>& node_dead);
 
 }  // namespace nashdb
 

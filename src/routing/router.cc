@@ -4,6 +4,8 @@
 #include <limits>
 #include <set>
 
+#include <string>
+
 #include "common/logging.h"
 
 namespace nashdb {
@@ -14,9 +16,21 @@ std::size_t SpanOf(const std::vector<RoutedRead>& reads) {
   return nodes.size();
 }
 
-std::vector<RoutedRead> MaxOfMinsRouter::Route(
+Status ValidateRoutable(const std::vector<FragmentRequest>& requests) {
+  for (const FragmentRequest& req : requests) {
+    if (req.candidates.empty()) {
+      return Status::FailedPrecondition(
+          "fragment " + std::to_string(req.frag) +
+          " has no live replica-holding node");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RoutedRead>> MaxOfMinsRouter::Route(
     const std::vector<FragmentRequest>& requests, std::vector<double> waits,
     double read_seconds_per_tuple, double phi_s) {
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
   std::vector<RoutedRead> out;
   out.reserve(requests.size());
   std::vector<bool> scheduled(requests.size(), false);
@@ -31,8 +45,6 @@ std::vector<RoutedRead> MaxOfMinsRouter::Route(
     NodeId best_node = kInvalidNode;
     for (std::size_t i = 0; i < requests.size(); ++i) {
       if (scheduled[i]) continue;
-      NASHDB_CHECK(!requests[i].candidates.empty())
-          << "request with no replica-holding node";
       double min_wait = std::numeric_limits<double>::infinity();
       NodeId min_node = kInvalidNode;
       for (NodeId m : requests[i].candidates) {
@@ -58,14 +70,14 @@ std::vector<RoutedRead> MaxOfMinsRouter::Route(
   return out;
 }
 
-std::vector<RoutedRead> ShortestQueueRouter::Route(
+Result<std::vector<RoutedRead>> ShortestQueueRouter::Route(
     const std::vector<FragmentRequest>& requests, std::vector<double> waits,
     double read_seconds_per_tuple, double phi_s) {
   (void)phi_s;
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
   std::vector<RoutedRead> out;
   out.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    NASHDB_CHECK(!requests[i].candidates.empty());
     NodeId best = requests[i].candidates.front();
     for (NodeId m : requests[i].candidates) {
       if (waits[m] < waits[best]) best = m;
@@ -77,12 +89,13 @@ std::vector<RoutedRead> ShortestQueueRouter::Route(
   return out;
 }
 
-std::vector<RoutedRead> GreedyScRouter::Route(
+Result<std::vector<RoutedRead>> GreedyScRouter::Route(
     const std::vector<FragmentRequest>& requests, std::vector<double> waits,
     double read_seconds_per_tuple, double phi_s) {
   (void)waits;
   (void)read_seconds_per_tuple;
   (void)phi_s;
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
   std::vector<RoutedRead> out;
   out.reserve(requests.size());
   std::vector<bool> scheduled(requests.size(), false);
@@ -96,7 +109,6 @@ std::vector<RoutedRead> GreedyScRouter::Route(
     std::set<NodeId> considered;
     for (std::size_t i = 0; i < requests.size(); ++i) {
       if (scheduled[i]) continue;
-      NASHDB_CHECK(!requests[i].candidates.empty());
       for (NodeId m : requests[i].candidates) {
         if (!considered.insert(m).second) continue;
         TupleCount cover = 0;
@@ -130,15 +142,15 @@ std::vector<RoutedRead> GreedyScRouter::Route(
 
 PowerOfTwoRouter::PowerOfTwoRouter(std::uint64_t seed) : rng_(seed) {}
 
-std::vector<RoutedRead> PowerOfTwoRouter::Route(
+Result<std::vector<RoutedRead>> PowerOfTwoRouter::Route(
     const std::vector<FragmentRequest>& requests, std::vector<double> waits,
     double read_seconds_per_tuple, double phi_s) {
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
   std::vector<RoutedRead> out;
   out.reserve(requests.size());
   std::vector<bool> used(waits.size(), false);
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& cand = requests[i].candidates;
-    NASHDB_CHECK(!cand.empty());
     NodeId pick;
     if (cand.size() <= 2) {
       // Two or fewer replicas: a d=2 sample without replacement would

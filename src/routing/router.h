@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "replication/cluster_config.h"
 
@@ -41,10 +42,21 @@ class ScanRouter {
   /// request's tuple count to disk time; `phi_s` is the estimated penalty
   /// for growing the query's span by one node (the paper's φ = 350 ms).
   /// Every request is assigned exactly one candidate node.
-  virtual std::vector<RoutedRead> Route(
+  ///
+  /// Candidate lists reflect the *live* replicas of a fragment; under
+  /// node failures a list can be empty, in which case the scan is
+  /// unroutable right now and every implementation returns a
+  /// FailedPrecondition routing failure (never indexes into the empty
+  /// list). The caller decides whether to retry, repair, or abort.
+  virtual Result<std::vector<RoutedRead>> Route(
       const std::vector<FragmentRequest>& requests, std::vector<double> waits,
       double read_seconds_per_tuple, double phi_s) = 0;
 };
+
+/// Shared precondition for all routers: every request must have at least
+/// one candidate replica. Returns FailedPrecondition naming the first
+/// fragment with none.
+Status ValidateRoutable(const std::vector<FragmentRequest>& requests);
 
 /// The paper's Max-of-mins router: repeatedly schedules the request whose
 /// *minimum achievable* wait (over candidates, adding φ for nodes the scan
@@ -54,10 +66,9 @@ class ScanRouter {
 class MaxOfMinsRouter : public ScanRouter {
  public:
   std::string_view name() const override { return "Max of mins"; }
-  std::vector<RoutedRead> Route(const std::vector<FragmentRequest>& requests,
-                                std::vector<double> waits,
-                                double read_seconds_per_tuple,
-                                double phi_s) override;
+  Result<std::vector<RoutedRead>> Route(
+      const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+      double read_seconds_per_tuple, double phi_s) override;
 };
 
 /// Baseline: each request goes to its shortest-queue candidate, ignoring
@@ -65,10 +76,9 @@ class MaxOfMinsRouter : public ScanRouter {
 class ShortestQueueRouter : public ScanRouter {
  public:
   std::string_view name() const override { return "Shortest queue"; }
-  std::vector<RoutedRead> Route(const std::vector<FragmentRequest>& requests,
-                                std::vector<double> waits,
-                                double read_seconds_per_tuple,
-                                double phi_s) override;
+  Result<std::vector<RoutedRead>> Route(
+      const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+      double read_seconds_per_tuple, double phi_s) override;
 };
 
 /// Baseline: greedy set cover minimizing query span ([24]; the paper's
@@ -77,10 +87,9 @@ class ShortestQueueRouter : public ScanRouter {
 class GreedyScRouter : public ScanRouter {
  public:
   std::string_view name() const override { return "Greedy SC"; }
-  std::vector<RoutedRead> Route(const std::vector<FragmentRequest>& requests,
-                                std::vector<double> waits,
-                                double read_seconds_per_tuple,
-                                double phi_s) override;
+  Result<std::vector<RoutedRead>> Route(
+      const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+      double read_seconds_per_tuple, double phi_s) override;
 };
 
 /// "Power of two choices" variant (the paper's footnote 3, after [32,
@@ -94,10 +103,9 @@ class PowerOfTwoRouter : public ScanRouter {
   explicit PowerOfTwoRouter(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
   std::string_view name() const override { return "Power of two"; }
-  std::vector<RoutedRead> Route(const std::vector<FragmentRequest>& requests,
-                                std::vector<double> waits,
-                                double read_seconds_per_tuple,
-                                double phi_s) override;
+  Result<std::vector<RoutedRead>> Route(
+      const std::vector<FragmentRequest>& requests, std::vector<double> waits,
+      double read_seconds_per_tuple, double phi_s) override;
 
  private:
   Rng rng_;

@@ -68,6 +68,12 @@ TupleCount NodeData::TuplesNotIn(const NodeData& other) const {
 
 TransitionPlan PlanTransition(const ClusterConfig& old_config,
                               const ClusterConfig& new_config) {
+  return PlanTransition(old_config, new_config, nullptr);
+}
+
+TransitionPlan PlanTransition(const ClusterConfig& old_config,
+                              const ClusterConfig& new_config,
+                              const std::vector<bool>* old_node_dead) {
   metrics::ScopedTimerMs timer("transition.plan_ms");
   const std::size_t n_old = old_config.node_count();
   const std::size_t n_new = new_config.node_count();
@@ -76,11 +82,18 @@ TransitionPlan PlanTransition(const ClusterConfig& old_config,
 
   const std::size_t n = std::max(n_old, n_new);
 
+  const auto old_dead = [&](std::size_t m) {
+    return old_node_dead != nullptr && m < old_node_dead->size() &&
+           (*old_node_dead)[m];
+  };
   std::vector<NodeData> old_data, new_data;
   old_data.reserve(n_old);
   new_data.reserve(n_new);
   for (NodeId m = 0; m < n_old; ++m) {
-    old_data.push_back(NodeData::Of(old_config, m));
+    // A dead machine contributes nothing: its replicas are unreadable, so
+    // any new node matched to it pays for a full copy from the durable
+    // base store.
+    old_data.push_back(old_dead(m) ? NodeData() : NodeData::Of(old_config, m));
   }
   for (NodeId m = 0; m < n_new; ++m) {
     new_data.push_back(NodeData::Of(new_config, m));

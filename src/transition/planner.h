@@ -61,6 +61,16 @@ struct TransitionPlan {
 TransitionPlan PlanTransition(const ClusterConfig& old_config,
                               const ClusterConfig& new_config);
 
+/// Failure-aware variant: `old_node_dead[m]` marks old nodes that are
+/// crashed at transition time. A dead machine's data cannot be copied
+/// from (nor does it survive a match), so its holdings are priced as
+/// empty — matching it to a new node costs that node's full data, exactly
+/// like provisioning a fresh replacement. Passing nullptr (or an
+/// all-false vector) is identical to the two-argument overload.
+TransitionPlan PlanTransition(const ClusterConfig& old_config,
+                              const ClusterConfig& new_config,
+                              const std::vector<bool>* old_node_dead);
+
 }  // namespace nashdb
 
 #endif  // NASHDB_TRANSITION_PLANNER_H_

@@ -131,5 +131,161 @@ TEST(ClusterSimTest, ReadCounterAccumulates) {
   EXPECT_EQ(sim.TotalReadTuples(), 200u);
 }
 
+// -------------------------------------------------- shrink accounting
+//
+// Node-count shrink must handle decommissioned nodes' state explicitly:
+// their backlog is drained (and billed) rather than silently truncated
+// along with the busy_until_ vector.
+
+ClusterConfig OneNodeConfig() {
+  ReplicationParams p;
+  p.node_cost = 10.0;
+  p.node_disk = 10000;
+  p.window_scans = 50;
+  FragmentInfo f0;
+  f0.table = 0;
+  f0.range = TupleRange{0, 5000};
+  FragmentInfo f1;
+  f1.table = 0;
+  f1.index_in_table = 1;
+  f1.range = TupleRange{5000, 10000};
+  auto config = BuildConfigFromPlacement(p, {f0, f1}, {{0, 1}});
+  return std::move(config).value();
+}
+
+TEST(ClusterSimShrinkTest, DecommissionBillsDrainOfRemainingBacklog) {
+  ClusterSim sim(Opts());
+  ClusterConfig two = TwoNodeConfig();
+  {
+    const TransitionPlan boot = PlanTransition(ClusterConfig(), two);
+    sim.ApplyConfig(two, 0.0, &boot);
+  }
+  // Node 1 accepts 200 s of reads at t=3500, so it still owes 100 s of
+  // work when it is decommissioned at t=3600.
+  sim.EnqueueRead(1, 200'000, 3500.0, false);
+  const SimTime backlog = sim.WaitSeconds(1, 3600.0);
+  ASSERT_GT(backlog, 0.0);
+
+  // Hand-built plan pinning which node is decommissioned (the Hungarian
+  // matching is free to keep either when costs tie).
+  ClusterConfig one = OneNodeConfig();
+  TransitionPlan plan;
+  NodeTransition keep;
+  keep.old_node = 0;
+  keep.new_node = 0;
+  keep.transfer_tuples = 5000;  // node 0 gains f1
+  NodeTransition drop;
+  drop.old_node = 1;
+  drop.new_node = kInvalidNode;
+  plan.moves = {keep, drop};
+  plan.total_transfer_tuples = 5000;
+  plan.nodes_removed = 1;
+  const Money before = sim.AccruedCost(3600.0);
+  sim.ApplyConfig(one, 3600.0, &plan);
+  EXPECT_EQ(sim.node_count(), 1u);
+  // The drain tail is billed up front: cost at 3600 now exceeds the
+  // settled two-node rent by exactly backlog seconds of one node's rent.
+  const Money drain_rate = Opts().node_cost_per_hour / 3600.0;
+  EXPECT_NEAR(sim.AccruedCost(3600.0) - before, drain_rate * backlog, 1e-9);
+}
+
+TEST(ClusterSimShrinkTest, DeadNodeDecommissionsWithoutDrainRent) {
+  ClusterSim sim(Opts());
+  ClusterConfig two = TwoNodeConfig();
+  {
+    const TransitionPlan boot = PlanTransition(ClusterConfig(), two);
+    sim.ApplyConfig(two, 0.0, &boot);
+  }
+  sim.EnqueueRead(1, 100'000, 10.0, false);
+  sim.FailNode(1, 20.0, kNeverRecovers);  // backlog lost at crash time
+
+  ClusterConfig one = OneNodeConfig();
+  std::vector<bool> dead = {false, true};
+  const TransitionPlan plan = PlanTransition(two, one, &dead);
+  const Money before = sim.AccruedCost(100.0);
+  sim.ApplyConfig(one, 100.0, &plan);
+  // No drain tail: the dead machine has nothing to finish.
+  EXPECT_NEAR(sim.AccruedCost(100.0), before, 1e-9);
+}
+
+TEST(ClusterSimShrinkTest, TeleportShrinkDropsStateByContract) {
+  // plan == nullptr is the documented "teleport": removed nodes' backlog
+  // is deliberately dropped, nothing extra is billed.
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  sim.EnqueueRead(1, 100'000, 0.0, false);
+  const Money settled = sim.AccruedCost(3600.0);
+  sim.ApplyConfig(OneNodeConfig(), 3600.0, nullptr);
+  EXPECT_EQ(sim.node_count(), 1u);
+  EXPECT_NEAR(sim.AccruedCost(3600.0), settled, 1e-9);
+}
+
+// ------------------------------------------------------- fault state
+
+TEST(ClusterSimFaultTest, CrashDropsBacklogAndBlocksReads) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  sim.EnqueueRead(0, 10'000, 0.0, false);  // busy until t=10
+  sim.FailNode(0, 2.0, 50.0);
+  EXPECT_FALSE(sim.NodeAlive(0, 2.0));
+  EXPECT_FALSE(sim.NodeAlive(0, 49.9));
+  EXPECT_TRUE(sim.NodeAlive(0, 50.0));  // scheduled recovery is visible
+  EXPECT_NEAR(sim.WaitSeconds(0, 2.0), 0.0, 1e-12);  // backlog lost
+  EXPECT_EQ(sim.LiveNodeCount(2.0), 1u);
+  EXPECT_EQ(sim.LiveNodeCount(50.0), 2u);
+}
+
+TEST(ClusterSimFaultTest, RecoverNodeRevivesWithEmptyQueue) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  sim.FailNode(0, 0.0, kNeverRecovers);
+  EXPECT_FALSE(sim.NodeAlive(0, 1e12));
+  sim.RecoverNode(0, 30.0);
+  EXPECT_TRUE(sim.NodeAlive(0, 30.0));
+  EXPECT_NEAR(sim.WaitSeconds(0, 30.0), 0.0, 1e-12);
+  const SimTime d = sim.EnqueueRead(0, 1000, 30.0, false);
+  EXPECT_NEAR(d, 31.0, 1e-12);
+}
+
+TEST(ClusterSimFaultTest, SlowNodeStretchesServiceUntilDeadline) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  sim.SlowNode(0, 0.25, 100.0);
+  EXPECT_NEAR(sim.NodeSpeed(0, 50.0), 0.25, 1e-12);
+  EXPECT_NEAR(sim.NodeSpeed(0, 100.0), 1.0, 1e-12);
+  // 1000 tuples at quarter speed = 4 s instead of 1 s.
+  const SimTime d = sim.EnqueueRead(0, 1000, 0.0, false);
+  EXPECT_NEAR(d, 4.0, 1e-12);
+  // After the episode, reads run at nominal speed again.
+  const SimTime d2 = sim.EnqueueRead(0, 1000, 200.0, false);
+  EXPECT_NEAR(d2, 201.0, 1e-12);
+}
+
+TEST(ClusterSimFaultTest, TransitionReplacesDeadMatchedMachine) {
+  ClusterSim sim(Opts());
+  ClusterConfig two = TwoNodeConfig();
+  {
+    const TransitionPlan boot = PlanTransition(ClusterConfig(), two);
+    sim.ApplyConfig(two, 0.0, &boot);
+  }
+  sim.FailNode(0, 10.0, kNeverRecovers);
+  std::vector<bool> dead = {true, false};
+  // Failure-aware identity transition: node 0's replacement pays a full
+  // copy of its holdings (5000 tuples at 2000/s = 2.5 s of ingest).
+  const TransitionPlan plan = PlanTransition(two, two, &dead);
+  sim.ApplyConfig(two, 100.0, &plan);
+  EXPECT_TRUE(sim.NodeAlive(0, 100.0));
+  EXPECT_NEAR(sim.WaitSeconds(0, 100.0), 2.5, 1e-9);
+}
+
+TEST(ClusterSimFaultTest, ChargeTransferQueuesIngestAndCounts) {
+  ClusterSim sim(Opts());
+  sim.ApplyConfig(TwoNodeConfig(), 0.0, nullptr);
+  const TupleCount before = sim.TotalTransferredTuples();
+  sim.ChargeTransfer(0, 4000, 0.0);  // 2 s at 2000 tuples/s
+  EXPECT_NEAR(sim.WaitSeconds(0, 0.0), 2.0, 1e-12);
+  EXPECT_EQ(sim.TotalTransferredTuples() - before, 4000u);
+}
+
 }  // namespace
 }  // namespace nashdb

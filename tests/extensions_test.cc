@@ -280,7 +280,7 @@ TEST(PowerOfTwoTest, AssignsValidCandidates) {
     }
     reqs.push_back(std::move(r));
   }
-  const auto routed = router.Route(reqs, std::vector<double>(8, 0.0),
+  const auto routed = *router.Route(reqs, std::vector<double>(8, 0.0),
                                    0.001, 0.35);
   ASSERT_EQ(routed.size(), reqs.size());
   for (const RoutedRead& rr : routed) {
@@ -300,7 +300,7 @@ TEST(PowerOfTwoTest, AvoidsTheWorstQueueOnAverage) {
   for (NodeId m = 0; m < 10; ++m) req.candidates.push_back(m);
   int hit_bad = 0;
   for (int i = 0; i < 300; ++i) {
-    const auto routed = router.Route({req}, waits, 0.0, 0.0);
+    const auto routed = *router.Route({req}, waits, 0.0, 0.0);
     if (routed[0].node == 3) ++hit_bad;
   }
   EXPECT_EQ(hit_bad, 0);  // node 3 loses every sampled comparison
@@ -312,7 +312,7 @@ TEST(PowerOfTwoTest, SingleCandidateDegenerates) {
   req.frag = 0;
   req.tuples = 10;
   req.candidates = {4};
-  const auto routed = router.Route({req}, std::vector<double>(6, 0.0),
+  const auto routed = *router.Route({req}, std::vector<double>(6, 0.0),
                                    0.001, 0.35);
   EXPECT_EQ(routed[0].node, 4u);
 }

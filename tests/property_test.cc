@@ -214,7 +214,7 @@ TEST_P(RouterInvariantTest, EveryRouterAssignsEveryRequestOnce) {
     for (double& w : waits) w = rng.NextDouble() * 10.0;
 
     for (ScanRouter* router : routers) {
-      const auto routed = router->Route(reqs, waits, 1e-3, 0.35);
+      const auto routed = *router->Route(reqs, waits, 1e-3, 0.35);
       ASSERT_EQ(routed.size(), reqs.size()) << router->name();
       std::set<std::size_t> seen;
       for (const RoutedRead& rr : routed) {
@@ -320,13 +320,20 @@ TEST(ApiMisuseDeathTest, PlaceOverCapacityAborts) {
   EXPECT_DEATH(config.Place(n, 1), "does not fit");
 }
 
+// Empty candidate lists are a *recoverable* routing failure (the driver
+// retries or aborts the query), not API misuse — the router must return a
+// FailedPrecondition Status instead of dying.
 TEST(ApiMisuseDeathTest, RouterRejectsEmptyCandidates) {
   MaxOfMinsRouter router;
   FragmentRequest req;
   req.frag = 0;
   req.tuples = 10;
-  EXPECT_DEATH(router.Route({req}, {0.0, 0.0}, 1e-3, 0.35),
-               "no replica-holding node");
+  const auto routed = router.Route({req}, {0.0, 0.0}, 1e-3, 0.35);
+  ASSERT_FALSE(routed.ok());
+  EXPECT_EQ(routed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(routed.status().message().find("no live replica-holding node"),
+            std::string::npos)
+      << routed.status().message();
 }
 
 // -------------------------------------------- transition conservation

@@ -36,7 +36,7 @@ void ExpectValid(const std::vector<FragmentRequest>& requests,
 TEST(MaxOfMinsTest, SingleRequestGoesToShortestQueue) {
   MaxOfMinsRouter router;
   const std::vector<FragmentRequest> reqs = {Req(0, 100, {0, 1, 2})};
-  const auto routed = router.Route(reqs, {5.0, 1.0, 3.0}, 0.001, 0.0);
+  const auto routed = *router.Route(reqs, {5.0, 1.0, 3.0}, 0.001, 0.0);
   ExpectValid(reqs, routed);
   EXPECT_EQ(routed[0].node, 1u);
 }
@@ -49,7 +49,7 @@ TEST(MaxOfMinsTest, SpanPenaltyKeepsQueryOnOneNode) {
   const std::vector<FragmentRequest> reqs = {Req(0, 10, {0}),
                                              Req(1, 10, {0, 1})};
   // read_seconds_per_tuple = 0.001 -> each read adds 0.01 s.
-  const auto routed = router.Route(reqs, {0.2, 0.1}, 0.001, 0.35);
+  const auto routed = *router.Route(reqs, {0.2, 0.1}, 0.001, 0.35);
   ExpectValid(reqs, routed);
   EXPECT_EQ(SpanOf(routed), 1u);
   for (const RoutedRead& rr : routed) EXPECT_EQ(rr.node, 0u);
@@ -60,7 +60,7 @@ TEST(MaxOfMinsTest, SpanGrowsWhenBeneficial) {
   MaxOfMinsRouter router;
   const std::vector<FragmentRequest> reqs = {Req(0, 10, {0}),
                                              Req(1, 10, {0, 1})};
-  const auto routed = router.Route(reqs, {10.0, 0.0}, 0.001, 0.35);
+  const auto routed = *router.Route(reqs, {10.0, 0.0}, 0.001, 0.35);
   ExpectValid(reqs, routed);
   EXPECT_EQ(SpanOf(routed), 2u);
 }
@@ -72,7 +72,7 @@ TEST(MaxOfMinsTest, SchedulesBottleneckFirst) {
   MaxOfMinsRouter router;
   const std::vector<FragmentRequest> reqs = {Req(0, 10, {0, 1}),
                                              Req(1, 10, {1})};
-  const auto routed = router.Route(reqs, {0.0, 5.0}, 0.001, 0.0);
+  const auto routed = *router.Route(reqs, {0.0, 5.0}, 0.001, 0.0);
   ExpectValid(reqs, routed);
   EXPECT_EQ(routed[0].request_index, 1u);  // bottleneck first
   EXPECT_EQ(routed[0].node, 1u);
@@ -85,7 +85,7 @@ TEST(MaxOfMinsTest, AccountsForItsOwnSchedulingLoad) {
   MaxOfMinsRouter router;
   const std::vector<FragmentRequest> reqs = {
       Req(0, 1000, {0, 1}), Req(1, 1000, {0, 1}), Req(2, 1000, {0, 1})};
-  const auto routed = router.Route(reqs, {0.0, 0.0}, 0.001, 0.0);
+  const auto routed = *router.Route(reqs, {0.0, 0.0}, 0.001, 0.0);
   ExpectValid(reqs, routed);
   EXPECT_EQ(SpanOf(routed), 2u);
 }
@@ -98,7 +98,7 @@ TEST(ShortestQueueTest, AlwaysPicksShortestIgnoringSpan) {
                                              Req(1, 10, {0, 1})};
   // With a huge φ MaxOfMins would stay on one node; shortest-queue
   // ignores φ entirely and alternates.
-  const auto routed = router.Route(reqs, {0.0, 0.001}, 1.0, 100.0);
+  const auto routed = *router.Route(reqs, {0.0, 0.001}, 1.0, 100.0);
   ExpectValid(reqs, routed);
   EXPECT_EQ(SpanOf(routed), 2u);
 }
@@ -108,7 +108,7 @@ TEST(ShortestQueueTest, UpdatesWaitsAsItSchedules) {
   const std::vector<FragmentRequest> reqs = {
       Req(0, 100, {0, 1}), Req(1, 100, {0, 1}), Req(2, 100, {0, 1}),
       Req(3, 100, {0, 1})};
-  const auto routed = router.Route(reqs, {0.0, 0.0}, 0.01, 0.0);
+  const auto routed = *router.Route(reqs, {0.0, 0.0}, 0.01, 0.0);
   ExpectValid(reqs, routed);
   int on0 = 0, on1 = 0;
   for (const RoutedRead& rr : routed) (rr.node == 0 ? on0 : on1)++;
@@ -123,7 +123,7 @@ TEST(GreedyScTest, MinimizesSpan) {
   GreedyScRouter router;
   const std::vector<FragmentRequest> reqs = {
       Req(0, 10, {0, 2}), Req(1, 10, {1, 2}), Req(2, 10, {2})};
-  const auto routed = router.Route(reqs, {0.0, 0.0, 100.0}, 0.001, 0.35);
+  const auto routed = *router.Route(reqs, {0.0, 0.0, 100.0}, 0.001, 0.35);
   ExpectValid(reqs, routed);
   EXPECT_EQ(SpanOf(routed), 1u);
   for (const RoutedRead& rr : routed) EXPECT_EQ(rr.node, 2u);
@@ -133,7 +133,7 @@ TEST(GreedyScTest, CoversDisjointReplicaSets) {
   GreedyScRouter router;
   const std::vector<FragmentRequest> reqs = {Req(0, 10, {0}),
                                              Req(1, 10, {1})};
-  const auto routed = router.Route(reqs, {0.0, 0.0}, 0.001, 0.35);
+  const auto routed = *router.Route(reqs, {0.0, 0.0}, 0.001, 0.35);
   ExpectValid(reqs, routed);
   EXPECT_EQ(SpanOf(routed), 2u);
 }
@@ -145,7 +145,7 @@ TEST(GreedyScTest, WeighsByTuples) {
   GreedyScRouter router;
   const std::vector<FragmentRequest> reqs = {
       Req(0, 1000, {0}), Req(1, 10, {1}), Req(2, 10, {1})};
-  const auto routed = router.Route(reqs, {0.0, 0.0}, 0.001, 0.35);
+  const auto routed = *router.Route(reqs, {0.0, 0.0}, 0.001, 0.35);
   ExpectValid(reqs, routed);
   EXPECT_EQ(routed[0].node, 0u);
 }
@@ -180,9 +180,9 @@ TEST(RouterComparisonTest, SpanOrderingAcrossRouters) {
     MaxOfMinsRouter mm;
     ShortestQueueRouter sq;
     GreedyScRouter sc;
-    const auto r_mm = mm.Route(reqs, waits, 0.0005, 0.35);
-    const auto r_sq = sq.Route(reqs, waits, 0.0005, 0.35);
-    const auto r_sc = sc.Route(reqs, waits, 0.0005, 0.35);
+    const auto r_mm = *mm.Route(reqs, waits, 0.0005, 0.35);
+    const auto r_sq = *sq.Route(reqs, waits, 0.0005, 0.35);
+    const auto r_sc = *sc.Route(reqs, waits, 0.0005, 0.35);
     ExpectValid(reqs, r_mm);
     ExpectValid(reqs, r_sq);
     ExpectValid(reqs, r_sc);
@@ -207,7 +207,7 @@ TEST(PowerOfTwoTest, TwoCandidatesPickedExhaustivelyAndDeterministically) {
   const std::vector<FragmentRequest> reqs = {Req(0, 100, {0, 1})};
   for (std::uint64_t seed : {1u, 7u, 42u, 12345u}) {
     PowerOfTwoRouter router(seed);
-    const auto routed = router.Route(reqs, {5.0, 1.0}, 0.001, 0.0);
+    const auto routed = *router.Route(reqs, {5.0, 1.0}, 0.001, 0.0);
     ASSERT_EQ(routed.size(), 1u);
     EXPECT_EQ(routed[0].node, 1u) << "seed=" << seed;
   }
@@ -220,7 +220,7 @@ TEST(PowerOfTwoTest, TwoCandidatesRespectSpanPenalty) {
   const std::vector<FragmentRequest> reqs = {Req(0, 100, {0}),
                                              Req(1, 100, {0, 1})};
   PowerOfTwoRouter router(1);
-  const auto routed = router.Route(reqs, {2.0, 0.5}, 0.0, 3.0);
+  const auto routed = *router.Route(reqs, {2.0, 0.5}, 0.0, 3.0);
   ASSERT_EQ(routed.size(), 2u);
   EXPECT_EQ(routed[0].node, 0u);
   EXPECT_EQ(routed[1].node, 0u);
@@ -229,9 +229,51 @@ TEST(PowerOfTwoTest, TwoCandidatesRespectSpanPenalty) {
 TEST(PowerOfTwoTest, SingleCandidateAlwaysPicked) {
   const std::vector<FragmentRequest> reqs = {Req(0, 10, {3})};
   PowerOfTwoRouter router(9);
-  const auto routed = router.Route(reqs, {0.0, 0.0, 0.0, 9.0}, 0.001, 0.35);
+  const auto routed = *router.Route(reqs, {0.0, 0.0, 0.0, 9.0}, 0.001, 0.35);
   ASSERT_EQ(routed.size(), 1u);
   EXPECT_EQ(routed[0].node, 3u);
+}
+
+// -------------------------------------------- empty-candidate hardening
+//
+// Under node failures the driver strips dead replicas from each request's
+// candidate list, which can leave it empty. Every router must then report
+// a routing failure — FailedPrecondition, naming the fragment — instead
+// of indexing into the empty list.
+
+TEST(RouterFailureTest, EmptyCandidatesIsRoutingFailureNotUb) {
+  MaxOfMinsRouter mm;
+  ShortestQueueRouter sq;
+  GreedyScRouter sc;
+  PowerOfTwoRouter p2(3);
+  const std::vector<FragmentRequest> reqs = {Req(0, 10, {0}),
+                                             Req(7, 10, {})};
+  for (ScanRouter* router :
+       std::vector<ScanRouter*>{&mm, &sq, &sc, &p2}) {
+    const auto routed = router->Route(reqs, {0.0, 0.0}, 0.001, 0.35);
+    ASSERT_FALSE(routed.ok()) << router->name();
+    EXPECT_EQ(routed.status().code(), StatusCode::kFailedPrecondition)
+        << router->name();
+    EXPECT_NE(routed.status().message().find("fragment 7"),
+              std::string::npos)
+        << router->name() << ": " << routed.status().message();
+  }
+}
+
+TEST(RouterFailureTest, AllRequestsEmptyAlsoFails) {
+  MaxOfMinsRouter router;
+  const std::vector<FragmentRequest> reqs = {Req(1, 10, {}), Req(2, 5, {})};
+  const auto routed = router.Route(reqs, {0.0, 0.0}, 0.001, 0.35);
+  ASSERT_FALSE(routed.ok());
+  EXPECT_EQ(routed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RouterFailureTest, NoRequestsIsTriviallyRoutable) {
+  // An empty request list is not a failure — there is nothing to route.
+  ShortestQueueRouter router;
+  const auto routed = router.Route({}, {0.0}, 0.001, 0.35);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_TRUE(routed->empty());
 }
 
 TEST(PowerOfTwoTest, ManyCandidatesStillRouteValidly) {
@@ -242,7 +284,7 @@ TEST(PowerOfTwoTest, ManyCandidatesStillRouteValidly) {
                        {0, 1, 2, 3, 4, 5}));
   }
   PowerOfTwoRouter router(5);
-  const auto routed = router.Route(reqs, std::vector<double>(6, 0.0), 0.001,
+  const auto routed = *router.Route(reqs, std::vector<double>(6, 0.0), 0.001,
                                    0.35);
   ASSERT_EQ(routed.size(), reqs.size());
   for (const RoutedRead& rr : routed) EXPECT_LT(rr.node, 6u);

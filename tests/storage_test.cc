@@ -169,7 +169,8 @@ TEST_F(StorageClusterTest, RoutedScansReturnGroundTruth) {
     const auto routed =
         router->Route(requests, std::vector<double>(config.node_count(), 0.0),
                       1e-3, 0.35);
-    const auto result = cluster_.ExecuteScan(scan, requests, routed);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    const auto result = cluster_.ExecuteScan(scan, requests, *routed);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     EXPECT_EQ(*result, cluster_.GroundTruth(scan))
         << router->name() << " trial " << trial;
@@ -232,7 +233,8 @@ TEST_F(StorageClusterTest, EndToEndAcrossElasticityAndStorage) {
   MaxOfMinsRouter router;
   const auto routed = router.Route(
       requests, std::vector<double>(lull.node_count(), 0.0), 1e-3, 0.35);
-  const auto result = cluster_.ExecuteScan(scan, requests, routed);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  const auto result = cluster_.ExecuteScan(scan, requests, *routed);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(*result, cluster_.GroundTruth(scan));
 }

@@ -267,5 +267,81 @@ TEST(PlannerTest, EveryNewNodeAppearsExactlyOnce) {
   for (int c : seen) EXPECT_EQ(c, 1);
 }
 
+// ------------------------------------------------------------ edge cases
+
+TEST(PlannerEdgeCaseTest, AllNewClusterIsFullCopyEverywhere) {
+  // Old side empty: every new node is a fresh provision; the plan pays a
+  // full copy of each node's holdings, nothing is removed.
+  ClusterConfig empty;
+  ClusterConfig target = ConfigOf(100, {{{0, 40}}, {{40, 100}}});
+  const TransitionPlan plan = PlanTransition(empty, target);
+  EXPECT_EQ(plan.nodes_added, 2u);
+  EXPECT_EQ(plan.nodes_removed, 0u);
+  EXPECT_EQ(plan.total_transfer_tuples, 100u);
+  for (const NodeTransition& move : plan.moves) {
+    EXPECT_EQ(move.old_node, kInvalidNode);
+    ASSERT_NE(move.new_node, kInvalidNode);
+    EXPECT_EQ(move.transfer_tuples,
+              NodeData::Of(target, move.new_node).TotalTuples());
+  }
+}
+
+TEST(PlannerEdgeCaseTest, FullDecommissionMovesNothing) {
+  // New side empty: every old node is decommissioned at zero transfer.
+  ClusterConfig old_config = ConfigOf(100, {{{0, 50}}, {{50, 100}}, {{0, 50}}});
+  ClusterConfig empty;
+  const TransitionPlan plan = PlanTransition(old_config, empty);
+  EXPECT_EQ(plan.nodes_added, 0u);
+  EXPECT_EQ(plan.nodes_removed, 3u);
+  EXPECT_EQ(plan.total_transfer_tuples, 0u);
+  ASSERT_EQ(plan.moves.size(), 3u);
+  for (const NodeTransition& move : plan.moves) {
+    EXPECT_NE(move.old_node, kInvalidNode);
+    EXPECT_EQ(move.new_node, kInvalidNode);
+    EXPECT_EQ(move.transfer_tuples, 0u);
+  }
+}
+
+TEST(PlannerEdgeCaseTest, BothSidesEmptyYieldsEmptyPlan) {
+  ClusterConfig a, b;
+  const TransitionPlan plan = PlanTransition(a, b);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_EQ(plan.total_transfer_tuples, 0u);
+}
+
+TEST(PlannerEdgeCaseTest, ZeroFragmentConfigsStillMatchNodes) {
+  // Nodes exist but store nothing (e.g. a padded fixed-size baseline
+  // cluster): the matching must still pair them with zero transfer.
+  ClusterConfig old_config = ConfigOf(100, {{}, {}});
+  ClusterConfig new_config = ConfigOf(100, {{}});
+  ASSERT_EQ(old_config.node_count(), 2u);
+  ASSERT_EQ(new_config.node_count(), 1u);
+  const TransitionPlan plan = PlanTransition(old_config, new_config);
+  EXPECT_EQ(plan.total_transfer_tuples, 0u);
+  EXPECT_EQ(plan.nodes_removed, 1u);
+  std::size_t matched_new = 0;
+  for (const NodeTransition& move : plan.moves) {
+    if (move.new_node != kInvalidNode) ++matched_new;
+  }
+  EXPECT_EQ(matched_new, 1u);
+}
+
+TEST(PlannerEdgeCaseTest, DeadOldNodePricedAsEmpty) {
+  // The failure-aware overload treats a crashed machine's holdings as
+  // unreadable: matching it costs the same as a fresh provision, so the
+  // matching prefers live donors when one exists.
+  ClusterConfig old_config = ConfigOf(100, {{{0, 50}}, {{0, 50}}});
+  ClusterConfig new_config = ConfigOf(100, {{{0, 50}}});
+  std::vector<bool> dead = {true, false};
+  const TransitionPlan plan = PlanTransition(old_config, new_config, &dead);
+  // The live replica on old node 1 makes the copy free.
+  EXPECT_EQ(plan.total_transfer_tuples, 0u);
+  // All-dead old side: the new node pays a full re-copy (from the durable
+  // base store).
+  dead = {true, true};
+  const TransitionPlan plan2 = PlanTransition(old_config, new_config, &dead);
+  EXPECT_EQ(plan2.total_transfer_tuples, 50u);
+}
+
 }  // namespace
 }  // namespace nashdb

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Repo health check: builds and runs the tier-1 suite in a plain build,
-# then the suite again in a thread-sanitized build (NASHDB_SANITIZE=thread)
-# to catch data races in the multithreaded reconfiguration pipeline.
+# then again under each sanitizer — thread (data races in the
+# multithreaded reconfiguration pipeline), address (heap errors in the
+# fault-injection / retry paths), and undefined (UB anywhere).
 #
 # Usage: tools/check.sh [--quick]
-#   --quick   in the TSan pass, run only the concurrency-labelled tests
-#             (ctest -L tsan) instead of the full suite.
+#   --quick   in the sanitizer passes, run only the targeted labels
+#             (ctest -L tsan for TSan, -L faults for ASan/UBSan) instead
+#             of the full suite.
 #
-# Build trees: ./build (plain) and ./build-tsan. Existing trees are reused;
-# no generator is forced, so whatever the tree was configured with stays.
+# Build trees: ./build (plain), ./build-tsan, ./build-asan, ./build-ubsan.
+# Existing trees are reused; no generator is forced, so whatever a tree
+# was configured with stays.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,18 +26,30 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 echo "== plain build + tier-1 tests =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "${JOBS}"
-ctest --test-dir build -L tier1 --output-on-failure -j "${JOBS}"
+ctest --test-dir build -L tier1 --no-tests=error --output-on-failure \
+      -j "${JOBS}"
 
-echo
-echo "== thread-sanitized build =="
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DNASHDB_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}"
-if [[ "${QUICK}" == "1" ]]; then
-  ctest --test-dir build-tsan -L tsan --output-on-failure -j "${JOBS}"
-else
-  ctest --test-dir build-tsan -L tier1 --output-on-failure -j "${JOBS}"
-fi
+# sanitized_pass NAME SANITIZE_VALUE QUICK_LABEL [ENV=VAL ...]
+sanitized_pass() {
+  local name="$1" sanitize="$2" quick_label="$3"
+  shift 3
+  echo
+  echo "== ${name}-sanitized build =="
+  cmake -B "build-${name}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNASHDB_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "build-${name}" -j "${JOBS}"
+  local label="tier1"
+  if [[ "${QUICK}" == "1" ]]; then
+    label="${quick_label}"
+  fi
+  env "$@" ctest --test-dir "build-${name}" -L "${label}" \
+      --no-tests=error --output-on-failure -j "${JOBS}"
+}
+
+sanitized_pass tsan thread tsan
+sanitized_pass asan address faults ASAN_OPTIONS=halt_on_error=1
+sanitized_pass ubsan undefined faults \
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
 
 echo
 echo "check.sh: all suites green"

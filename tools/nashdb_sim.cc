@@ -39,6 +39,9 @@ struct Flags {
   double interval_s = 3600.0;       // reconfiguration interval
   bool adaptive = false;
   std::string metrics_path;         // write the metrics snapshot here
+  std::string faults;               // fault scenario spec (empty = none)
+  std::uint64_t seed = 0;           // seed for all stochastic components
+  bool no_repair = false;           // disable emergency re-replication
   bool help = false;
 };
 
@@ -60,7 +63,38 @@ void PrintHelp() {
       "  --interval=SECONDS reconfiguration interval (default 3600)\n"
       "  --adaptive         adaptive transition detection\n"
       "  --metrics=PATH     write the end-to-end metrics/trace snapshot\n"
-      "                     (JSON; see DESIGN.md \"Observability\")\n");
+      "                     (JSON; see DESIGN.md \"Observability\")\n"
+      "\n"
+      "Fault injection (DESIGN.md 8):\n"
+      "  --faults=SPEC      semicolon-separated clauses:\n"
+      "                       crash@T:nID[:for=D]    crash node ID at T s,\n"
+      "                                              recover after D s\n"
+      "                       recover@T:nID          revive node ID at T\n"
+      "                       slow@T:nID:xF[:for=D]  straggler at F x speed\n"
+      "                       interrupt@T            restart the transfers\n"
+      "                                              of the next transition\n"
+      "                       mttf=S                 stochastic crashes,\n"
+      "                                              Exp(S) apart\n"
+      "                       mttr=S                 crash repair Exp(S)\n"
+      "                                              (omit: permanent)\n"
+      "                       straggle-every=S / straggle-for=S /\n"
+      "                       straggle-x=F           stochastic stragglers\n"
+      "                       pinterrupt=P           per-transfer restart\n"
+      "                                              probability\n"
+      "                     e.g. --faults='mttf=1800;mttr=600'\n"
+      "  --seed=N           seeds every stochastic fault draw (victim\n"
+      "                     choice, Exp() times, transfer interrupts) and\n"
+      "                     the power2 router's sampling. Identical\n"
+      "                     --faults + --seed replay a bit-identical fault\n"
+      "                     history and faults.* metrics on every run and\n"
+      "                     at any thread count; changing the seed changes\n"
+      "                     only the stochastic draws, never scripted\n"
+      "                     events. Default 0.\n"
+      "  --no-repair        disable emergency re-replication (measure pure\n"
+      "                     degraded operation)\n"
+      "\n"
+      "Exit codes: 0 ok; 1 I/O error; 2 bad flags; 3 at least one query\n"
+      "aborted (retry budget / timeout exhausted under faults).\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -81,9 +115,12 @@ Flags ParseFlags(int argc, char** argv) {
       f.help = true;
     } else if (std::strcmp(a, "--adaptive") == 0) {
       f.adaptive = true;
+    } else if (std::strcmp(a, "--no-repair") == 0) {
+      f.no_repair = true;
     } else if (ParseFlag(a, "--workload", &f.workload) ||
                ParseFlag(a, "--system", &f.system) ||
                ParseFlag(a, "--router", &f.router) ||
+               ParseFlag(a, "--faults", &f.faults) ||
                ParseFlag(a, "--metrics", &f.metrics_path)) {
     } else if (ParseFlag(a, "--scale", &v)) {
       f.scale = std::atof(v.c_str());
@@ -103,6 +140,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.max_replicas = static_cast<std::size_t>(std::atoll(v.c_str()));
     } else if (ParseFlag(a, "--interval", &v)) {
       f.interval_s = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--seed", &v)) {
+      f.seed = static_cast<std::uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", a);
       std::exit(2);
@@ -205,7 +244,12 @@ std::unique_ptr<ScanRouter> BuildRouter(const Flags& f) {
     return std::make_unique<ShortestQueueRouter>();
   }
   if (f.router == "greedysc") return std::make_unique<GreedyScRouter>();
-  if (f.router == "power2") return std::make_unique<PowerOfTwoRouter>();
+  if (f.router == "power2") {
+    // --seed also pins the router's two-choice sampling, so a power2 run
+    // is reproducible end to end. Seed 0 keeps the router's default.
+    return f.seed == 0 ? std::make_unique<PowerOfTwoRouter>()
+                       : std::make_unique<PowerOfTwoRouter>(f.seed);
+  }
   std::fprintf(stderr, "unknown router: %s\n", f.router.c_str());
   std::exit(2);
 }
@@ -245,6 +289,16 @@ int main(int argc, char** argv) {
   const bool is_static = wl.queries.empty() || wl.queries.back().arrival == 0.0;
   d.warmup_observe = is_static;
   d.periodic_reconfigure = !is_static;
+  if (!f.faults.empty()) {
+    Result<FaultSpec> spec = FaultSpec::Parse(f.faults);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    d.faults.spec = std::move(*spec);
+    d.faults.seed = f.seed;
+    d.faults.emergency_repair = !f.no_repair;
+  }
 
   const RunResult r = RunWorkload(wl, system.get(), router.get(), d);
 
@@ -267,6 +321,14 @@ int main(int argc, char** argv) {
   std::printf("data served        : %10.1f GB\n",
               static_cast<double>(r.read_tuples) / 1000.0);
   std::printf("makespan           : %10.1f h\n", r.makespan_s / 3600.0);
+  if (!f.faults.empty()) {
+    std::printf("faults             : %10zu crashes, %zu retries, "
+                "%zu aborted queries\n",
+                r.crashes, r.scan_retries, r.aborted_queries);
+    std::printf("emergency repairs  : %10zu (%.1f GB re-replicated)\n",
+                r.emergency_repairs,
+                static_cast<double>(r.repair_transfer_tuples) / 1000.0);
+  }
   if (!f.metrics_path.empty() && !r.metrics_json.empty()) {
     std::FILE* mf = std::fopen(f.metrics_path.c_str(), "w");
     if (mf == nullptr) {
@@ -277,6 +339,12 @@ int main(int argc, char** argv) {
     std::fprintf(mf, "%s\n", r.metrics_json.c_str());
     std::fclose(mf);
     std::printf("metrics snapshot   : %s\n", f.metrics_path.c_str());
+  }
+  if (r.aborted_queries > 0) {
+    std::fprintf(stderr,
+                 "%zu queries aborted without retry budget; exiting 3\n",
+                 r.aborted_queries);
+    return 3;
   }
   return 0;
 }
