@@ -96,6 +96,12 @@ struct FaultStats {
 /// comes from the single seed, and delivery happens on the (serial)
 /// driver loop, so identical spec + seed reproduce the exact same fault
 /// history regardless of host, run, or reconfiguration thread count.
+///
+/// Concurrency contract (thread-safety audit, DESIGN.md §9): serial by
+/// design, like ClusterSim — the single-consumer driver loop is the only
+/// caller, so there are no mutexes and no NASHDB_GUARDED_BY annotations
+/// here. Sharing a FaultScheduler across threads would break replay
+/// determinism before it broke memory safety.
 class FaultScheduler {
  public:
   FaultScheduler(FaultSpec spec, std::uint64_t seed);

@@ -49,6 +49,15 @@ inline constexpr SimTime kNeverRecovers =
 /// the node rejects reads until its recovery time. A dead node keeps
 /// accruing rent: it is provisioned until a transition decommissions or
 /// replaces it, matching cloud billing.
+///
+/// Concurrency contract (thread-safety audit, DESIGN.md §9): ClusterSim
+/// is single-threaded by design — every member is driven from the
+/// driver's serial query loop at simulated-time boundaries, so replays
+/// stay deterministic regardless of reconfiguration threads. It therefore
+/// holds no mutexes and carries no NASHDB_GUARDED_BY annotations
+/// (common/thread_annotations.h); do not share one instance across
+/// threads. The multithreaded pieces of the system (ThreadPool,
+/// metrics::Registry, PercentileTracker) are the annotated ones.
 class ClusterSim {
  public:
   explicit ClusterSim(const ClusterSimOptions& options);

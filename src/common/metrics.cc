@@ -266,11 +266,11 @@ Histogram* NoopHistogram() {
 Counter* Registry::counter(std::string_view name) {
   if (!enabled()) return NoopCounter();
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = counters_.find(name);
     if (it != counters_.end()) return it->second.get();
   }
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto& slot = counters_[std::string(name)];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
@@ -279,11 +279,11 @@ Counter* Registry::counter(std::string_view name) {
 Gauge* Registry::gauge(std::string_view name) {
   if (!enabled()) return NoopGauge();
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = gauges_.find(name);
     if (it != gauges_.end()) return it->second.get();
   }
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto& slot = gauges_[std::string(name)];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -293,11 +293,11 @@ Histogram* Registry::histogram(std::string_view name,
                                std::span<const double> bounds) {
   if (!enabled()) return NoopHistogram();
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = histograms_.find(name);
     if (it != histograms_.end()) return it->second.get();
   }
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto& slot = histograms_[std::string(name)];
   if (!slot) {
     slot = std::make_unique<Histogram>(
@@ -307,43 +307,44 @@ Histogram* Registry::histogram(std::string_view name,
 }
 
 std::uint64_t Registry::CounterValue(std::string_view name) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 void Registry::RecordReconfig(ReconfigTrace trace) {
   if (!enabled()) return;
-  std::lock_guard lock(trace_mu_);
+  MutexLock lock(trace_mu_);
   traces_.push_back(std::move(trace));
 }
 
 bool Registry::AnnotateLastReconfig(
     const std::function<void(ReconfigTrace&)>& fn) {
   if (!enabled()) return true;  // nothing to annotate, nothing missing
-  std::lock_guard lock(trace_mu_);
+  MutexLock lock(trace_mu_);
   if (traces_.empty()) return false;
   fn(traces_.back());
   return true;
 }
 
 std::size_t Registry::reconfig_count() const {
-  std::lock_guard lock(trace_mu_);
+  MutexLock lock(trace_mu_);
   return traces_.size();
 }
 
 std::size_t Registry::metric_count() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void Registry::Reset() {
-  std::unique_lock lock(mu_);
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
-  lock.unlock();
-  std::lock_guard tlock(trace_mu_);
+  {
+    WriterMutexLock lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+  MutexLock tlock(trace_mu_);
   traces_.clear();
 }
 
@@ -352,7 +353,7 @@ std::string Registry::SnapshotJson() const {
   out.reserve(4096);
   out.append("{\n  \"counters\": {");
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(mu_);
     bool first = true;
     for (const auto& [name, c] : counters_) {
       out.append(first ? "\n    " : ",\n    ");
@@ -414,7 +415,7 @@ std::string Registry::SnapshotJson() const {
 
   out.append("  \"reconfigurations\": [");
   {
-    std::lock_guard lock(trace_mu_);
+    MutexLock lock(trace_mu_);
     for (std::size_t i = 0; i < traces_.size(); ++i) {
       out.append(i == 0 ? "\n    " : ",\n    ");
       AppendTrace(&out, traces_[i]);

@@ -8,12 +8,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace nashdb {
 namespace metrics {
@@ -149,46 +150,54 @@ class Registry {
   /// Finds or creates the named metric. While the registry is disabled
   /// these return a shared no-op instance and allocate nothing, so
   /// instrumented code may call them unconditionally.
-  Counter* counter(std::string_view name);
-  Gauge* gauge(std::string_view name);
+  Counter* counter(std::string_view name) NASHDB_EXCLUDES(mu_);
+  Gauge* gauge(std::string_view name) NASHDB_EXCLUDES(mu_);
   /// `bounds` is consulted only on first creation; empty means the default
   /// geometric decade buckets (1e-3 .. 1e6).
   Histogram* histogram(std::string_view name,
-                       std::span<const double> bounds = {});
+                       std::span<const double> bounds = {})
+      NASHDB_EXCLUDES(mu_);
 
   /// Value of a counter by name; 0 when absent. Used to diff counters
   /// around a pipeline stage.
-  std::uint64_t CounterValue(std::string_view name) const;
+  std::uint64_t CounterValue(std::string_view name) const NASHDB_EXCLUDES(mu_);
 
   /// Appends one reconfiguration trace (no-op while disabled).
-  void RecordReconfig(ReconfigTrace trace);
+  void RecordReconfig(ReconfigTrace trace) NASHDB_EXCLUDES(trace_mu_);
   /// Mutates the most recent trace under the trace lock; returns false
   /// when there is none (e.g. a baseline system that records no traces).
-  bool AnnotateLastReconfig(const std::function<void(ReconfigTrace&)>& fn);
-  std::size_t reconfig_count() const;
+  bool AnnotateLastReconfig(const std::function<void(ReconfigTrace&)>& fn)
+      NASHDB_EXCLUDES(trace_mu_);
+  std::size_t reconfig_count() const NASHDB_EXCLUDES(trace_mu_);
 
   /// Number of registered metrics (all kinds). Exposed for the
   /// disabled-mode zero-allocation tests.
-  std::size_t metric_count() const;
+  std::size_t metric_count() const NASHDB_EXCLUDES(mu_);
 
   /// Drops every metric and trace. Invalidates previously returned metric
   /// pointers; the free-function API below is always safe.
-  void Reset();
+  void Reset() NASHDB_EXCLUDES(mu_, trace_mu_);
 
   /// Serializes counters, gauges, histograms, and reconfiguration traces
   /// as one JSON object.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const NASHDB_EXCLUDES(mu_, trace_mu_);
 
  private:
   Registry() = default;
 
   std::atomic<bool> enabled_{false};
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  mutable std::mutex trace_mu_;
-  std::vector<ReconfigTrace> traces_;
+  /// Guards metric *registration* (map lookup/insert); mutation of the
+  /// returned metric objects is lock-free atomics. Reads take the shared
+  /// side so concurrent pool workers resolving names do not serialize.
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      NASHDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      NASHDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      NASHDB_GUARDED_BY(mu_);
+  mutable Mutex trace_mu_;
+  std::vector<ReconfigTrace> traces_ NASHDB_GUARDED_BY(trace_mu_);
 };
 
 /// True when the global registry is collecting.

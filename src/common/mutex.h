@@ -1,0 +1,125 @@
+#ifndef NASHDB_COMMON_MUTEX_H_
+#define NASHDB_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace nashdb {
+
+/// Annotated exclusive mutex: a thin wrapper over std::mutex that Clang's
+/// thread-safety analysis can see (std::mutex itself carries no capability
+/// attributes, so code locking it directly gets no static checking).
+/// Lock through MutexLock or the Lock/Unlock pair; fields protected by an
+/// instance are declared NASHDB_GUARDED_BY(that instance).
+class NASHDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() NASHDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() NASHDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() NASHDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for interop (CondVar). Locking through it bypasses
+  /// the analysis; only CondVar uses it.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (the annotated std::lock_guard).
+class NASHDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NASHDB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() NASHDB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() must be called with the
+/// mutex held (REQUIRES); it atomically releases the mutex while blocked
+/// and reacquires it before returning, so from the analysis' point of view
+/// the capability is held across the call — matching the caller's RAII
+/// scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) NASHDB_REQUIRES(mu) {
+    // Adopt the caller's hold for the duration of the wait, then release
+    // the std::unique_lock so ownership returns to the caller's guard.
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Annotated reader/writer mutex over std::shared_mutex.
+class NASHDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() NASHDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() NASHDB_RELEASE() { mu_.unlock(); }
+  void ReaderLock() NASHDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() NASHDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class NASHDB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) NASHDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() NASHDB_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class NASHDB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) NASHDB_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() NASHDB_RELEASE() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_COMMON_MUTEX_H_

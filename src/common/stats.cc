@@ -22,18 +22,18 @@ void RunningStat::Add(double x) {
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 void PercentileTracker::Add(double x) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   samples_.push_back(x);
   sorted_ = false;
 }
 
 std::size_t PercentileTracker::count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return samples_.size();
 }
 
 double PercentileTracker::mean() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (samples_.empty()) return 0.0;
   double s = 0.0;
   for (double x : samples_) s += x;
@@ -41,7 +41,7 @@ double PercentileTracker::mean() const {
 }
 
 double PercentileTracker::Percentile(double p) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -2,8 +2,10 @@
 #define NASHDB_COMMON_STATS_H_
 
 #include <cstddef>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace nashdb {
 
@@ -51,19 +53,19 @@ class PercentileTracker {
   PercentileTracker(const PercentileTracker&) = delete;
   PercentileTracker& operator=(const PercentileTracker&) = delete;
 
-  void Add(double x);
+  void Add(double x) NASHDB_EXCLUDES(mu_);
 
-  std::size_t count() const;
-  double mean() const;
+  std::size_t count() const NASHDB_EXCLUDES(mu_);
+  double mean() const NASHDB_EXCLUDES(mu_);
 
   /// Returns the p-th percentile (p in [0, 100]) using linear interpolation
   /// between closest ranks. Returns 0 when empty.
-  double Percentile(double p) const;
+  double Percentile(double p) const NASHDB_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  mutable Mutex mu_;
+  mutable std::vector<double> samples_ NASHDB_GUARDED_BY(mu_);
+  mutable bool sorted_ NASHDB_GUARDED_BY(mu_) = false;
 };
 
 /// Exact one-pass sum of squared deviations from the mean for a sample

@@ -23,7 +23,13 @@ enum class StatusCode {
 };
 
 /// The result of a fallible operation: either OK or a code plus message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is exactly the bug class the
+/// retry/repair paths of PR 3 made reachable, so discarding one is a
+/// compile error (the build adds -Werror=unused-result). Call sites that
+/// genuinely want to ignore an error say so with a `(void)` cast — and own
+/// the consequences in review.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -64,8 +70,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Mirrors arrow::Result.
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common, successful path).
   Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -112,6 +120,27 @@ class Result {
     ::nashdb::Status _st = (expr);            \
     if (!_st.ok()) return _st;                \
   } while (false)
+
+#define NASHDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define NASHDB_STATUS_CONCAT_(a, b) NASHDB_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the Status
+/// out of the enclosing function, otherwise moves the value into `lhs`:
+///
+///   NASHDB_ASSIGN_OR_RETURN(ClusterConfig config,
+///                           RepackIncremental(params, frags, prev));
+///
+/// `lhs` may declare a new variable or name an existing one. Replaces the
+/// hand-rolled `if (!r.ok()) return r.status();` stanzas that used to
+/// guard every Result call site.
+#define NASHDB_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  NASHDB_ASSIGN_OR_RETURN_IMPL_(                                         \
+      NASHDB_STATUS_CONCAT_(_nashdb_result_, __LINE__), lhs, rexpr)
+
+#define NASHDB_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
 
 }  // namespace nashdb
 

@@ -25,10 +25,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -38,11 +38,11 @@ void ThreadPool::Schedule(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     NASHDB_CHECK(!stop_) << "Schedule on a destroyed ThreadPool";
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
@@ -56,8 +56,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [this]() NASHDB_REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -84,10 +86,10 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
   struct State {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> cancelled{false};
-    std::mutex mu;
-    std::condition_variable done;
-    std::size_t pending = 0;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar done;
+    std::size_t pending NASHDB_GUARDED_BY(mu) = 0;
+    std::exception_ptr error NASHDB_GUARDED_BY(mu);
   };
   auto state = std::make_shared<State>();
 
@@ -103,7 +105,7 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (!state->error) state->error = std::current_exception();
         state->cancelled.store(true, std::memory_order_relaxed);
       }
@@ -112,20 +114,22 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
 
   const std::size_t runners = std::min(pool->num_threads(), blocks - 1);
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->pending = runners;
   }
   for (std::size_t r = 0; r < runners; ++r) {
     pool->Schedule([state, run_blocks] {
       run_blocks();
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (--state->pending == 0) state->done.notify_all();
+      MutexLock lock(state->mu);
+      if (--state->pending == 0) state->done.NotifyAll();
     });
   }
   run_blocks();  // the caller participates
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&state] { return state->pending == 0; });
+  MutexLock lock(state->mu);
+  state->done.Wait(state->mu, [&state]() NASHDB_REQUIRES(state->mu) {
+    return state->pending == 0;
+  });
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -1,13 +1,14 @@
 #ifndef NASHDB_COMMON_THREAD_POOL_H_
 #define NASHDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace nashdb {
 
@@ -39,7 +40,7 @@ class ThreadPool {
   /// workers). Fire-and-forget: completion and exceptions are the
   /// submitter's business — `fn` must not throw (ParallelFor wraps user
   /// functions to capture exceptions).
-  void Schedule(std::function<void()> fn);
+  void Schedule(std::function<void()> fn) NASHDB_EXCLUDES(mu_);
 
   /// True when the calling thread is one of this pool's workers. Used by
   /// ParallelFor to degrade nested calls to inline execution instead of
@@ -50,12 +51,14 @@ class ThreadPool {
   static std::size_t DefaultThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() NASHDB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ NASHDB_GUARDED_BY(mu_);
+  bool stop_ NASHDB_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, before any worker exists; read-only
+  /// afterwards, so unguarded reads are race-free.
   std::vector<std::thread> workers_;
 };
 

@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/stats.h"
 #include "engine/config_index.h"
+#include "engine/validate.h"
 #include "replication/incremental.h"
 #include "transition/planner.h"
 
@@ -137,6 +138,11 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     const auto plan_start = std::chrono::steady_clock::now();
     const TransitionPlan bootstrap = PlanTransition(empty, config);
     const double plan_ms = collect ? MsSince(plan_start) : 0.0;
+    // Validating builds: whatever system built `config`, it must be
+    // structurally sound, and the bootstrap plan must price a full copy of
+    // every node (engine/validate.h).
+    NASHDB_VALIDATE_OR_DIE(ValidateConfig(config));
+    NASHDB_VALIDATE_OR_DIE(ValidatePlan(bootstrap, empty, config));
     sim.ApplyConfig(config, 0.0, &bootstrap);
     ++result.transitions;
     result.bootstrap_transfer_tuples = sim.TotalTransferredTuples();
@@ -253,6 +259,8 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       return;
     }
     const TransitionPlan plan = PlanTransition(config, *repaired, &dead);
+    NASHDB_VALIDATE_OR_DIE(ValidateConfig(*repaired));
+    NASHDB_VALIDATE_OR_DIE(ValidatePlan(plan, config, *repaired, &dead));
     sim.ApplyConfig(*repaired, at, &plan);
     charge_interruptions(plan, at);
     config = std::move(*repaired);
@@ -284,6 +292,9 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       if (faults_on) dead = dead_bitmap(next_reconfigure);
       const TransitionPlan plan =
           PlanTransition(config, next, faults_on ? &dead : nullptr);
+      NASHDB_VALIDATE_OR_DIE(ValidateConfig(next));
+      NASHDB_VALIDATE_OR_DIE(
+          ValidatePlan(plan, config, next, faults_on ? &dead : nullptr));
       const double plan_ms = collect ? MsSince(plan_start) : 0.0;
       bool apply = true;
       if (options.adaptive_reconfigure) {

@@ -156,6 +156,15 @@ struct RunResult {
 /// simulated cluster. Queries are admitted in arrival order; the system is
 /// rebuilt and the cluster transitioned (minimal-transfer matching, §7)
 /// every reconfigure_interval_s of simulated time.
+///
+/// Concurrency contract (thread-safety audit, DESIGN.md §9): the driver
+/// loop is serial — it owns the ClusterSim, FaultScheduler, and config
+/// exclusively, so none of them are annotated. Concurrency lives behind
+/// BuildConfig (the system's internal ThreadPool fan-out) and the metrics
+/// registry, both of which carry NASHDB_GUARDED_BY annotations checked by
+/// Clang's -Wthread-safety. In NASHDB_VALIDATE builds the loop
+/// additionally CHECKs ValidateConfig/ValidatePlan (engine/validate.h)
+/// after the bootstrap, every periodic round, and every emergency repair.
 RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
                       ScanRouter* router, const DriverOptions& options);
 

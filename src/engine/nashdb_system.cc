@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "engine/validate.h"
 #include "replication/incremental.h"
 #include "replication/nash.h"
 #include "replication/packer.h"
@@ -140,6 +141,10 @@ ClusterConfig NashDbSystem::BuildConfig() {
     const FragmentationScheme scheme = fragmenters_.at(table.id)->Refragment(
         ctx, MaxFragsFor(table.tuples));
     NASHDB_CHECK(scheme.Valid());
+    // Validating builds: cross-check the estimator's profile and the
+    // fragmenter's Eq. 4 arithmetic before they feed replication.
+    NASHDB_VALIDATE_OR_DIE(ValidateProfile(profile));
+    NASHDB_VALIDATE_OR_DIE(ValidateScheme(scheme, profile));
 
     // A fragment must fit on one node; the fragmenter optimizes error, not
     // placement, so carve any over-disk fragment into disk-sized pieces
@@ -258,6 +263,24 @@ ClusterConfig NashDbSystem::BuildConfig() {
           : PackReplicasBffd(params, std::move(fragments));
   NASHDB_CHECK(packed.ok()) << packed.status().ToString();
   last_config_ = std::make_unique<ClusterConfig>(*packed);
+
+  // Validating builds: the packed configuration must be structurally sound
+  // and every replica count within the hysteresis band of its Eq. 9 ideal
+  // (elastic packing preserves requested counts, so a violation here is a
+  // replication-stage bug, not a placement compromise).
+#ifdef NASHDB_VALIDATE
+  {
+    ValidateOptions econ;
+    econ.replica_slack_abs = options_.replica_hysteresis;
+    // The hysteresis block is skipped entirely when the absolute band is
+    // zero, so counts are then exact Eq. 9 ideals: demand them.
+    econ.replica_slack_frac = options_.replica_hysteresis > 0
+                                  ? options_.replica_hysteresis_frac
+                                  : 0.0;
+    NASHDB_VALIDATE_OR_DIE(ValidateConfig(*last_config_));
+    NASHDB_VALIDATE_OR_DIE(ValidateReplicaEconomics(*last_config_, econ));
+  }
+#endif
 
   if (collect) {
     const ClusterConfig& config = *last_config_;

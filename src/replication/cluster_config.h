@@ -72,6 +72,13 @@ class ClusterConfig {
   /// effects on violation.
   bool Valid() const;
 
+  /// Test-only seam: overwrites the economic parameters in place. The
+  /// checked mutators (Place) refuse to *build* invariant-violating
+  /// states, so the ValidateConfig corruption tests (engine/validate.h)
+  /// use this to create them after the fact — e.g. shrinking node_disk
+  /// below what a node already stores yields an over-capacity node.
+  void SetParamsForTest(const ReplicationParams& params) { params_ = params; }
+
  private:
   ReplicationParams params_;
   std::vector<FragmentInfo> fragments_;

@@ -4,24 +4,78 @@
 # multithreaded reconfiguration pipeline), address (heap errors in the
 # fault-injection / retry paths), and undefined (UB anywhere).
 #
-# Usage: tools/check.sh [--quick]
-#   --quick   in the sanitizer passes, run only the targeted labels
-#             (ctest -L tsan for TSan, -L faults for ASan/UBSan) instead
-#             of the full suite.
+# Usage: tools/check.sh [--quick | --static]
+#   --quick    in the sanitizer passes, run only the targeted labels
+#              (ctest -L tsan for TSan, -L faults for ASan/UBSan) instead
+#              of the full suite.
+#   --static   static analysis only, no tests: tools/tidy.sh (clang-tidy
+#              with the curated .clang-tidy) plus, when clang++ is on
+#              PATH, a full compile under -Wthread-safety
+#              -Werror=thread-safety to check the NASHDB_GUARDED_BY /
+#              NASHDB_REQUIRES annotations.
 #
-# Build trees: ./build (plain), ./build-tsan, ./build-asan, ./build-ubsan.
-# Existing trees are reused; no generator is forced, so whatever a tree
-# was configured with stays.
+# Unknown flags are an error — a typo like --qick silently running the
+# slow full suite (or worse, skipping it) is exactly the failure mode a
+# gate script must not have.
+#
+# Build trees: ./build (plain), ./build-tsan, ./build-asan, ./build-ubsan,
+# ./build-clang (--static thread-safety pass). Existing trees are reused;
+# no generator is forced, so whatever a tree was configured with stays.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+usage() {
+  awk 'NR > 1 && !/^#/ { exit } NR > 1 { sub(/^# ?/, ""); print }' "$0"
+}
+
 QUICK=0
-if [[ "${1:-}" == "--quick" ]]; then
-  QUICK=1
+STATIC=0
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) QUICK=1 ;;
+    --static) STATIC=1 ;;
+    -h|--help)
+      usage
+      exit 0
+      ;;
+    *)
+      echo "check.sh: unknown flag '${arg}'" >&2
+      echo >&2
+      usage >&2
+      exit 2
+      ;;
+  esac
+done
+if [[ "${QUICK}" == "1" && "${STATIC}" == "1" ]]; then
+  echo "check.sh: --quick and --static are mutually exclusive" >&2
+  exit 2
 fi
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "${STATIC}" == "1" ]]; then
+  echo "== clang-tidy =="
+  tools/tidy.sh
+
+  echo
+  echo "== thread-safety analysis =="
+  if command -v clang++ >/dev/null 2>&1; then
+    # The root CMakeLists adds -Wthread-safety -Werror=thread-safety
+    # whenever the compiler is Clang; a clean build IS the check.
+    cmake -B build-clang -S . -DCMAKE_BUILD_TYPE=Release \
+          -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+    cmake --build build-clang -j "${JOBS}"
+    echo "thread-safety: clean"
+  else
+    echo "check.sh: clang++ not found; skipping the thread-safety pass" \
+         "(GCC does not implement the analysis)"
+  fi
+
+  echo
+  echo "check.sh: static analysis green"
+  exit 0
+fi
 
 echo "== plain build + tier-1 tests =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -4,8 +4,8 @@
 // Examples:
 //   nashdb_sim --workload=bernoulli --system=nashdb --price=4
 //   nashdb_sim --workload=real2 --system=threshold --nodes=24
-//   nashdb_sim --workload=tpch --system=hypergraph --nodes=16 \
-//              --router=greedysc --scale=0.25
+//   nashdb_sim --workload=tpch --system=hypergraph --nodes=16
+//              --router=greedysc --scale=0.25  (one command line)
 //   nashdb_sim --workload=real1 --system=nashdb --adaptive
 //
 // Run with --help for the full flag list.

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the library sources, using the curated .clang-tidy
+# at the repo root (WarningsAsErrors: '*', so any finding fails the run).
+#
+# Usage: tools/tidy.sh [file.cc ...]
+#   With no arguments, every tracked .cc under src/ is checked. Passing
+#   files restricts the run (useful pre-commit).
+#
+# Environment:
+#   CLANG_TIDY      clang-tidy binary to use (default: first of clang-tidy,
+#                   clang-tidy-20 .. clang-tidy-14 on PATH).
+#   TIDY_BUILD_DIR  build tree whose compile_commands.json to use
+#                   (default: build; configured on demand).
+#
+# When no clang-tidy exists on PATH the script prints a notice and exits 0:
+# the gate is Clang-hosted tooling, and environments without it (e.g. a
+# gcc-only container) still need tools/check.sh to pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY_BIN="${CLANG_TIDY:-}"
+if [[ -z "${TIDY_BIN}" ]]; then
+  for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+              clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      TIDY_BIN="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY_BIN}" ]]; then
+  echo "tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy" \
+       "to enable the static-analysis gate)"
+  exit 0
+fi
+
+BUILD_DIR="${TIDY_BUILD_DIR:-build}"
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "tidy.sh: ${BUILD_DIR}/compile_commands.json missing after configure" >&2
+  exit 1
+fi
+
+if [[ "$#" -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(git ls-files 'src/*.cc' 'src/**/*.cc')
+fi
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "tidy.sh: no files to check" >&2
+  exit 1
+fi
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "tidy.sh: ${TIDY_BIN} over ${#files[@]} files (-p ${BUILD_DIR})"
+printf '%s\n' "${files[@]}" |
+  xargs -P "${JOBS}" -n 4 "${TIDY_BIN}" -p "${BUILD_DIR}" --quiet
+
+echo "tidy.sh: clean"
