@@ -92,6 +92,14 @@ class ClusterSim {
   /// Seconds of queued work remaining on `node` at time `now` (>= 0).
   SimTime WaitSeconds(NodeId node, SimTime now) const;
 
+  /// The per-node next-idle times behind WaitSeconds
+  /// (WaitSeconds(m, t) == max(0, BusyUntil()[m] - t)). The sim already
+  /// maintains this array incrementally on every enqueue, transfer,
+  /// transition, and fault, so the steady-state query path reads waits for
+  /// candidate nodes in O(1) through a WaitView instead of materializing a
+  /// per-scan O(node_count) wait vector (DESIGN.md §10).
+  const std::vector<SimTime>& BusyUntil() const { return busy_until_; }
+
   /// Seconds needed to read `tuples` from disk at nominal speed.
   SimTime ReadSeconds(TupleCount tuples) const {
     return static_cast<double>(tuples) / options_.tuples_per_second;

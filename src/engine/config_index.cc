@@ -7,42 +7,100 @@
 namespace nashdb {
 
 ConfigIndex::ConfigIndex(const ClusterConfig& config) : config_(&config) {
-  for (FlatFragmentId fid = 0; fid < config.fragments().size(); ++fid) {
-    by_table_[config.fragment(fid).table].push_back(fid);
+  const std::size_t frag_count = config.fragments().size();
+  entries_.reserve(frag_count);
+
+  // Group fragment ids per table, sorted by range start within each table
+  // (ranges of one table tile the key space, so starts are unique and the
+  // order matches the seed index exactly).
+  std::vector<FlatFragmentId> order(frag_count);
+  for (FlatFragmentId fid = 0; fid < frag_count; ++fid) order[fid] = fid;
+  std::sort(order.begin(), order.end(),
+            [&](FlatFragmentId a, FlatFragmentId b) {
+              const FragmentInfo& fa = config.fragment(a);
+              const FragmentInfo& fb = config.fragment(b);
+              if (fa.table != fb.table) return fa.table < fb.table;
+              return fa.range.start < fb.range.start;
+            });
+
+  std::size_t cand_total = 0;
+  for (FlatFragmentId fid = 0; fid < frag_count; ++fid) {
+    cand_total += config.FragmentNodes(fid).size();
   }
-  for (auto& [table, fids] : by_table_) {
-    (void)table;
-    std::sort(fids.begin(), fids.end(),
-              [&](FlatFragmentId a, FlatFragmentId b) {
-                return config.fragment(a).range.start <
-                       config.fragment(b).range.start;
-              });
+  cand_pool_.reserve(cand_total);
+
+  for (FlatFragmentId fid : order) {
+    const FragmentInfo& info = config.fragment(fid);
+    if (tables_.empty() || tables_.back().table != info.table) {
+      tables_.push_back(TableSpan{
+          info.table, static_cast<std::uint32_t>(entries_.size()), 0});
+    }
+    Entry e;
+    e.start = info.range.start;
+    e.end = info.range.end;
+    e.frag = fid;
+    e.tuples = info.size();
+    e.cand_begin = static_cast<std::uint32_t>(cand_pool_.size());
+    const std::vector<NodeId>& homes = config.FragmentNodes(fid);
+    e.cand_count = static_cast<std::uint32_t>(homes.size());
+    cand_pool_.insert(cand_pool_.end(), homes.begin(), homes.end());
+    entries_.push_back(e);
+    tables_.back().end = static_cast<std::uint32_t>(entries_.size());
   }
+}
+
+const ConfigIndex::TableSpan& ConfigIndex::SpanFor(TableId table) const {
+  const auto it = std::lower_bound(
+      tables_.begin(), tables_.end(), table,
+      [](const TableSpan& s, TableId t) { return s.table < t; });
+  NASHDB_CHECK(it != tables_.end() && it->table == table)
+      << "scan over unknown table " << table;
+  return *it;
+}
+
+void ConfigIndex::RequestsForInto(const Scan& scan,
+                                  ScanScratch* scratch) const {
+  scratch->Clear();
+  if (scan.range.empty()) return;
+  const TableSpan& span = SpanFor(scan.table);
+  const Entry* first = entries_.data() + span.begin;
+  const Entry* last = entries_.data() + span.end;
+
+  // First fragment whose end is beyond the scan start.
+  const Entry* e = std::lower_bound(
+      first, last, scan.range.start,
+      [](const Entry& entry, TupleIndex v) { return entry.end <= v; });
+  for (; e != last && e->start < scan.range.end; ++e) {
+    NASHDB_CHECK(e->cand_count > 0)
+        << "fragment " << e->frag << " has no replicas";
+    FlatRequest req;
+    req.frag = e->frag;
+    req.tuples = e->tuples;
+    req.cand_begin = e->cand_begin;
+    req.cand_count = e->cand_count;
+    scratch->requests.push_back(req);
+  }
+  scratch->external_pool = cand_pool_.data();
 }
 
 std::vector<FragmentRequest> ConfigIndex::RequestsFor(const Scan& scan) const {
   std::vector<FragmentRequest> requests;
   if (scan.range.empty()) return requests;
-  auto it = by_table_.find(scan.table);
-  NASHDB_CHECK(it != by_table_.end())
-      << "scan over unknown table " << scan.table;
-  const std::vector<FlatFragmentId>& fids = it->second;
+  const TableSpan& span = SpanFor(scan.table);
+  const Entry* first = entries_.data() + span.begin;
+  const Entry* last = entries_.data() + span.end;
 
-  // First fragment whose end is beyond the scan start.
-  auto lo = std::lower_bound(
-      fids.begin(), fids.end(), scan.range.start,
-      [&](FlatFragmentId fid, TupleIndex v) {
-        return config_->fragment(fid).range.end <= v;
-      });
-  for (auto f = lo; f != fids.end(); ++f) {
-    const FragmentInfo& info = config_->fragment(*f);
-    if (info.range.start >= scan.range.end) break;
+  const Entry* e = std::lower_bound(
+      first, last, scan.range.start,
+      [](const Entry& entry, TupleIndex v) { return entry.end <= v; });
+  for (; e != last && e->start < scan.range.end; ++e) {
+    NASHDB_CHECK(e->cand_count > 0)
+        << "fragment " << e->frag << " has no replicas";
     FragmentRequest req;
-    req.frag = *f;
-    req.tuples = info.size();  // block granularity: full fragment read
-    req.candidates = config_->FragmentNodes(*f);
-    NASHDB_CHECK(!req.candidates.empty())
-        << "fragment " << *f << " has no replicas";
+    req.frag = e->frag;
+    req.tuples = e->tuples;
+    req.candidates.assign(cand_pool_.begin() + e->cand_begin,
+                          cand_pool_.begin() + e->cand_begin + e->cand_count);
     requests.push_back(std::move(req));
   }
   return requests;

@@ -1,7 +1,7 @@
 #ifndef NASHDB_ENGINE_CONFIG_INDEX_H_
 #define NASHDB_ENGINE_CONFIG_INDEX_H_
 
-#include <map>
+#include <cstdint>
 #include <vector>
 
 #include "common/query.h"
@@ -10,10 +10,42 @@
 
 namespace nashdb {
 
+/// Caller-owned reusable buffers for the allocation-free request-resolve
+/// path (DESIGN.md §10). A scratch grows to the largest scan it has seen
+/// and keeps its capacity across scans, so the steady state allocates
+/// nothing.
+///
+/// Two backing modes for the candidate pool: ConfigIndex::RequestsForInto
+/// leaves `cands` empty and points the batch at the index's own pool
+/// (zero copy); LivenessOverlay::FilterLive materializes the filtered
+/// candidates into `cands`.
+struct ScanScratch {
+  std::vector<FlatRequest> requests;
+  std::vector<NodeId> cands;
+  /// When non-null, the candidate pool the requests' spans index into;
+  /// otherwise the spans index into `cands`.
+  const NodeId* external_pool = nullptr;
+
+  void Clear() {
+    requests.clear();
+    cands.clear();
+    external_pool = nullptr;
+  }
+
+  RequestBatch Batch() const {
+    return RequestBatch{requests.data(), requests.size(),
+                        external_pool != nullptr ? external_pool
+                                                 : cands.data()};
+  }
+};
+
 /// Lookup structure over one ClusterConfig: maps a range scan to the
 /// fragment read requests it induces (the scan router's F(s) with
-/// candidate nodes E(s) — §8). Built once per configuration; scans then
-/// resolve in O(log F + |F(s)|).
+/// candidate nodes E(s) — §8). Built once per configuration as flat
+/// contiguous storage: one entry record per fragment, grouped per table
+/// and sorted by range start, with each entry's candidate nodes a span
+/// into a single flat NodeId pool. Scans resolve in
+/// O(log F + |F(s)|) with no allocation (RequestsForInto).
 class ConfigIndex {
  public:
   explicit ConfigIndex(const ClusterConfig& config);
@@ -22,14 +54,45 @@ class ConfigIndex {
   /// scan's table overlapping its range, each carrying the fragment's full
   /// tuple count (a fragment is the minimum read granularity, like a disk
   /// block — §5.1) and the nodes holding a replica.
+  ///
+  /// Seed (reference) API: materializes fresh vectors per call. Kept for
+  /// tests and the legacy query path; the driver's steady state uses
+  /// RequestsForInto.
   std::vector<FragmentRequest> RequestsFor(const Scan& scan) const;
+
+  /// Allocation-free variant: resolves `scan` into `*scratch` (cleared
+  /// first), with candidate spans pointing directly into the index's
+  /// pool. Identical requests, in identical order, as RequestsFor.
+  void RequestsForInto(const Scan& scan, ScanScratch* scratch) const;
 
   const ClusterConfig& config() const { return *config_; }
 
  private:
+  /// One fragment of one table, with its range inlined so the binary
+  /// search and the overlap walk touch only this contiguous array.
+  struct Entry {
+    TupleIndex start = 0;
+    TupleIndex end = 0;
+    FlatFragmentId frag = 0;
+    TupleCount tuples = 0;
+    std::uint32_t cand_begin = 0;
+    std::uint32_t cand_count = 0;
+  };
+  /// Per-table span into `entries_`, sorted by table id.
+  struct TableSpan {
+    TableId table = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  /// The table's entry span; CHECK-fails on an unknown table (a scan over
+  /// a table the configuration does not cover is a caller bug).
+  const TableSpan& SpanFor(TableId table) const;
+
   const ClusterConfig* config_;
-  // Per table: flat fragment ids sorted by range start.
-  std::map<TableId, std::vector<FlatFragmentId>> by_table_;
+  std::vector<TableSpan> tables_;
+  std::vector<Entry> entries_;  // grouped by table, sorted by range start
+  std::vector<NodeId> cand_pool_;
 };
 
 }  // namespace nashdb

@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/stats.h"
 #include "engine/config_index.h"
+#include "engine/liveness_overlay.h"
 #include "engine/validate.h"
 #include "replication/incremental.h"
 #include "transition/planner.h"
@@ -154,6 +155,21 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   }
   ConfigIndex index(config);
 
+  // --- Steady-state query-path state (DESIGN.md §10). All per-scan
+  // buffers live here and are reused for the whole run: the flat path
+  // resolves requests into `scan_scratch` (candidate spans pointing into
+  // the index's pool), filters liveness into `live_scratch` only when a
+  // node is actually down at the attempt time, evaluates waits lazily
+  // through a WaitView over the sim's busy-until array, and routes into
+  // `routed_buf` via the routers' scratch-state entry point — no per-scan
+  // allocation and no per-scan work proportional to the cluster size.
+  ScanScratch scan_scratch;
+  ScanScratch live_scratch;
+  RouterScratch router_scratch;
+  std::vector<RoutedRead> routed_buf;
+  LivenessOverlay liveness;
+  liveness.SyncFrom(sim);
+
   const SimTime check_interval = options.adaptive_reconfigure
                                      ? options.adaptive_check_interval_s
                                      : options.reconfigure_interval_s;
@@ -177,9 +193,15 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   // run (the loop only ever calls it with non-decreasing times).
   const auto deliver_faults = [&](SimTime at) {
     if (!fault_sched) return;
+    bool any = false;
     for (const FaultEvent& ev : fault_sched->AdvanceTo(at, &sim)) {
       if (ev.type == FaultType::kCrash) pending_crashes.push_back(ev.time);
+      any = true;
     }
+    // Liveness can only change when events are actually delivered (or a
+    // transition replaces machines, synced at those sites), so the
+    // overlay refresh is event-driven, never per-scan.
+    if (any) liveness.SyncFrom(sim);
   };
 
   const auto dead_bitmap = [&](SimTime at) {
@@ -262,6 +284,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     NASHDB_VALIDATE_OR_DIE(ValidateConfig(*repaired));
     NASHDB_VALIDATE_OR_DIE(ValidatePlan(plan, config, *repaired, &dead));
     sim.ApplyConfig(*repaired, at, &plan);
+    liveness.SyncFrom(sim);
     charge_interruptions(plan, at);
     config = std::move(*repaired);
     index = ConfigIndex(config);
@@ -309,6 +332,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       }
       if (apply) {
         sim.ApplyConfig(next, next_reconfigure, &plan);
+        liveness.SyncFrom(sim);
         charge_interruptions(plan, next_reconfigure);
         config = std::move(next);
         index = ConfigIndex(config);
@@ -342,8 +366,18 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     std::set<NodeId> nodes_used;
     SimTime completion = now;
     for (const Scan& scan : tq.query.scans) {
-      const std::vector<FragmentRequest> requests = index.RequestsFor(scan);
-      if (requests.empty()) continue;
+      // Resolve F(s) once per scan; retries only re-filter liveness. The
+      // flat path resolves into the reusable scratch (candidate spans
+      // pointing into the index's pool — nothing is copied); the legacy
+      // path materializes fresh vectors like the seed code did.
+      std::vector<FragmentRequest> legacy_requests;
+      if (options.legacy_query_path) {
+        legacy_requests = index.RequestsFor(scan);
+        if (legacy_requests.empty()) continue;
+      } else {
+        index.RequestsForInto(scan, &scan_scratch);
+        if (scan_scratch.requests.empty()) continue;
+      }
 
       // Retry loop: a scan whose live candidate set has a hole backs off
       // and re-attempts at a later simulated time — scheduled recoveries
@@ -352,28 +386,13 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       SimTime attempt_time = now;
       std::size_t attempts = 0;
       for (;;) {
-        std::vector<FragmentRequest> live = requests;
-        if (faults_on) {
-          for (FragmentRequest& req : live) {
-            req.candidates.erase(
-                std::remove_if(req.candidates.begin(), req.candidates.end(),
-                               [&](NodeId m) {
-                                 return !sim.NodeAlive(m, attempt_time);
-                               }),
-                req.candidates.end());
-          }
-        }
-        std::vector<double> waits(config.node_count(), 0.0);
-        for (NodeId m = 0; m < config.node_count(); ++m) {
-          waits[m] = sim.WaitSeconds(m, attempt_time);
-        }
-        Result<std::vector<RoutedRead>> routed =
-            router->Route(live, std::move(waits), spt, options.phi_s);
-        if (routed.ok()) {
-          NASHDB_CHECK_EQ(routed->size(), live.size());
-          for (const RoutedRead& rr : *routed) {
+        // Enqueues one successful routing; `tuples_of` maps a request
+        // index to its tuple count in whichever representation routed.
+        const auto enqueue_all = [&](const std::vector<RoutedRead>& routed,
+                                     const auto& tuples_of) {
+          for (const RoutedRead& rr : routed) {
             const bool first_use = nodes_used.insert(rr.node).second;
-            const TupleCount tuples = live[rr.request_index].tuples;
+            const TupleCount tuples = tuples_of(rr.request_index);
             if (collect) {
               metrics::Count("routing.requests");
               metrics::Observe("routing.queue_wait_s",
@@ -384,8 +403,57 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
             completion = std::max(completion, done);
             record.tuples_read += tuples;
           }
-          break;
+        };
+
+        bool routed_ok = false;
+        if (options.legacy_query_path) {
+          std::vector<FragmentRequest> live = legacy_requests;
+          if (faults_on) {
+            for (FragmentRequest& req : live) {
+              req.candidates.erase(
+                  std::remove_if(req.candidates.begin(), req.candidates.end(),
+                                 [&](NodeId m) {
+                                   return !sim.NodeAlive(m, attempt_time);
+                                 }),
+                  req.candidates.end());
+            }
+          }
+          std::vector<double> waits(config.node_count(), 0.0);
+          for (NodeId m = 0; m < config.node_count(); ++m) {
+            waits[m] = sim.WaitSeconds(m, attempt_time);
+          }
+          Result<std::vector<RoutedRead>> routed =
+              router->Route(live, std::move(waits), spt, options.phi_s);
+          routed_ok = routed.ok();
+          if (routed_ok) {
+            NASHDB_CHECK_EQ(routed->size(), live.size());
+            enqueue_all(*routed,
+                        [&](std::size_t i) { return live[i].tuples; });
+          }
+        } else {
+          // Steady-state fast path: when every node is alive at the
+          // attempt time (the overlay answers in O(1)), the unfiltered
+          // resolve is routed as-is — no copy of any kind. Filtering
+          // rewrites only the candidate spans, and only for attempts
+          // where some node is actually down.
+          RequestBatch batch = scan_scratch.Batch();
+          if (faults_on && liveness.AnyDeadAt(attempt_time)) {
+            liveness.FilterLive(scan_scratch, attempt_time, &live_scratch);
+            batch = live_scratch.Batch();
+          }
+          const WaitView waits(sim.BusyUntil().data(), sim.node_count(),
+                               attempt_time);
+          const Status status = router->RouteInto(
+              batch, waits, spt, options.phi_s, &router_scratch, &routed_buf);
+          routed_ok = status.ok();
+          if (routed_ok) {
+            NASHDB_CHECK_EQ(routed_buf.size(), batch.count);
+            enqueue_all(routed_buf, [&](std::size_t i) {
+              return batch.requests[i].tuples;
+            });
+          }
         }
+        if (routed_ok) break;
         // Coverage gap. Back off and retry, abort once out of budget.
         ++attempts;
         if (attempts > options.faults.max_scan_retries) {

@@ -87,6 +87,16 @@ struct DriverOptions {
 
   /// Fault injection + failure handling; inactive by default.
   FaultOptions faults;
+
+  /// Route scans through the seed (allocating) query path — fresh request
+  /// vectors per scan, an unconditional filtered copy per retry, a full
+  /// O(node_count) wait-vector rebuild per attempt, and the routers'
+  /// allocating Route entry point — instead of the flat scratch-buffer
+  /// path (DESIGN.md §10). The two paths produce bit-identical
+  /// QueryRecord streams on identical inputs (enforced by the
+  /// golden-equivalence test); this switch exists for that test and for
+  /// bench_query_path's before/after measurement.
+  bool legacy_query_path = false;
 };
 
 /// Per-query outcome of a run.

@@ -1,0 +1,36 @@
+#include "engine/liveness_overlay.h"
+
+#include <algorithm>
+
+namespace nashdb {
+
+void LivenessOverlay::SyncFrom(const ClusterSim& sim) {
+  const std::size_t n = sim.node_count();
+  down_until_.resize(n);
+  max_down_until_ = 0.0;
+  for (NodeId m = 0; m < n; ++m) {
+    down_until_[m] = sim.DownUntil(m);
+    max_down_until_ = std::max(max_down_until_, down_until_[m]);
+  }
+}
+
+void LivenessOverlay::FilterLive(const ScanScratch& src, SimTime at,
+                                 ScanScratch* dst) const {
+  dst->Clear();
+  const RequestBatch batch = src.Batch();
+  dst->requests.reserve(batch.count);
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    const FlatRequest& req = batch.requests[i];
+    const NodeId* cand = batch.cands(req);
+    FlatRequest out = req;
+    out.cand_begin = static_cast<std::uint32_t>(dst->cands.size());
+    for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+      if (AliveAt(cand[k], at)) dst->cands.push_back(cand[k]);
+    }
+    out.cand_count =
+        static_cast<std::uint32_t>(dst->cands.size()) - out.cand_begin;
+    dst->requests.push_back(out);
+  }
+}
+
+}  // namespace nashdb

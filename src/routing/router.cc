@@ -27,6 +27,20 @@ Status ValidateRoutable(const std::vector<FragmentRequest>& requests) {
   return Status::OK();
 }
 
+Status ValidateRoutable(const RequestBatch& requests) {
+  for (std::size_t i = 0; i < requests.count; ++i) {
+    const FlatRequest& req = requests.requests[i];
+    if (req.cand_count == 0) {
+      return Status::FailedPrecondition(
+          "fragment " + std::to_string(req.frag) +
+          " has no live replica-holding node");
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ MaxOfMins
+
 Result<std::vector<RoutedRead>> MaxOfMinsRouter::Route(
     const std::vector<FragmentRequest>& requests, std::vector<double> waits,
     double read_seconds_per_tuple, double phi_s) {
@@ -70,6 +84,54 @@ Result<std::vector<RoutedRead>> MaxOfMinsRouter::Route(
   return out;
 }
 
+Status MaxOfMinsRouter::RouteInto(const RequestBatch& requests,
+                                  const WaitView& waits,
+                                  double read_seconds_per_tuple, double phi_s,
+                                  RouterScratch* scratch,
+                                  std::vector<RoutedRead>* out) {
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
+  out->clear();
+  scratch->BeginScan(waits);
+  scratch->scheduled.assign(requests.count, 0);
+
+  for (std::size_t round = 0; round < requests.count; ++round) {
+    double best_min = -1.0;
+    std::size_t best_req = requests.count;
+    NodeId best_node = kInvalidNode;
+    for (std::size_t i = 0; i < requests.count; ++i) {
+      if (scratch->scheduled[i]) continue;
+      const FlatRequest& req = requests.requests[i];
+      const NodeId* cand = requests.cands(req);
+      double min_wait = std::numeric_limits<double>::infinity();
+      NodeId min_node = kInvalidNode;
+      for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+        const NodeId m = cand[k];
+        const double w =
+            scratch->Wait(m) + (scratch->Used(m) ? 0.0 : phi_s);
+        if (w < min_wait) {
+          min_wait = w;
+          min_node = m;
+        }
+      }
+      if (min_wait > best_min) {
+        best_min = min_wait;
+        best_req = i;
+        best_node = min_node;
+      }
+    }
+    NASHDB_DCHECK(best_req < requests.count);
+    scratch->scheduled[best_req] = 1;
+    scratch->MarkUsed(best_node);
+    scratch->AddWait(best_node,
+                     static_cast<double>(requests.requests[best_req].tuples) *
+                         read_seconds_per_tuple);
+    out->push_back(RoutedRead{best_req, best_node});
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------- ShortestQueue
+
 Result<std::vector<RoutedRead>> ShortestQueueRouter::Route(
     const std::vector<FragmentRequest>& requests, std::vector<double> waits,
     double read_seconds_per_tuple, double phi_s) {
@@ -88,6 +150,31 @@ Result<std::vector<RoutedRead>> ShortestQueueRouter::Route(
   }
   return out;
 }
+
+Status ShortestQueueRouter::RouteInto(const RequestBatch& requests,
+                                      const WaitView& waits,
+                                      double read_seconds_per_tuple,
+                                      double phi_s, RouterScratch* scratch,
+                                      std::vector<RoutedRead>* out) {
+  (void)phi_s;
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
+  out->clear();
+  scratch->BeginScan(waits);
+  for (std::size_t i = 0; i < requests.count; ++i) {
+    const FlatRequest& req = requests.requests[i];
+    const NodeId* cand = requests.cands(req);
+    NodeId best = cand[0];
+    for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+      if (scratch->Wait(cand[k]) < scratch->Wait(best)) best = cand[k];
+    }
+    scratch->AddWait(best, static_cast<double>(req.tuples) *
+                               read_seconds_per_tuple);
+    out->push_back(RoutedRead{i, best});
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ Greedy SC
 
 Result<std::vector<RoutedRead>> GreedyScRouter::Route(
     const std::vector<FragmentRequest>& requests, std::vector<double> waits,
@@ -140,6 +227,108 @@ Result<std::vector<RoutedRead>> GreedyScRouter::Route(
   return out;
 }
 
+Status GreedyScRouter::RouteInto(const RequestBatch& requests,
+                                 const WaitView& waits,
+                                 double read_seconds_per_tuple, double phi_s,
+                                 RouterScratch* scratch,
+                                 std::vector<RoutedRead>* out) {
+  (void)read_seconds_per_tuple;
+  (void)phi_s;
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
+  out->clear();
+  scratch->BeginScan(waits);
+  scratch->scheduled.assign(requests.count, 0);
+
+  // Build the node→requests postings lists for this call: one dense local
+  // id per candidate node (first-appearance order), then the request
+  // indices holding each node, ascending. Each round below computes a
+  // node's remaining cover by walking its postings — O(total candidate
+  // entries) per round instead of the reference implementation's
+  // O(requests² · |cand|) std::find sweeps.
+  std::vector<NodeId>& call_nodes = scratch->call_nodes_;
+  std::vector<std::uint32_t>& off = scratch->post_off_;
+  std::vector<std::uint32_t>& post = scratch->post_req_;
+  call_nodes.clear();
+  off.clear();
+  for (std::size_t i = 0; i < requests.count; ++i) {
+    const FlatRequest& req = requests.requests[i];
+    const NodeId* cand = requests.cands(req);
+    for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+      const std::uint32_t lid = scratch->LocalId(cand[k]);
+      if (lid == off.size()) off.push_back(0);
+      ++off[lid];
+    }
+  }
+  const std::size_t local_count = call_nodes.size();
+  std::uint32_t total = 0;
+  for (std::uint32_t& v : off) {
+    const std::uint32_t cnt = v;
+    v = total;
+    total += cnt;
+  }
+  off.push_back(total);  // sentinel: node l's span is [off[l], off[l + 1])
+  post.resize(total);
+  {
+    std::vector<std::uint32_t>& cursor = scratch->post_cursor_;
+    cursor.assign(off.begin(), off.end() - 1);
+    for (std::size_t i = 0; i < requests.count; ++i) {
+      const FlatRequest& req = requests.requests[i];
+      const NodeId* cand = requests.cands(req);
+      for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+        const std::uint32_t lid = scratch->LocalId(cand[k]);
+        post[cursor[lid]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+  if (scratch->round_stamp_.size() < local_count) {
+    scratch->round_stamp_.resize(local_count, 0);
+  }
+
+  std::size_t remaining = requests.count;
+  while (remaining > 0) {
+    // One round = the reference implementation's `considered` sweep: nodes
+    // are evaluated in first-appearance order over the *unscheduled*
+    // requests (the round stamp replaces the std::set dedup), with the
+    // identical better-cover-wins comparison.
+    ++scratch->round_epoch_;
+    NodeId best_node = kInvalidNode;
+    std::uint32_t best_lid = 0;
+    TupleCount best_cover = 0;
+    for (std::size_t i = 0; i < requests.count; ++i) {
+      if (scratch->scheduled[i]) continue;
+      const FlatRequest& req = requests.requests[i];
+      const NodeId* cand = requests.cands(req);
+      for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+        const std::uint32_t lid = scratch->LocalId(cand[k]);
+        if (scratch->round_stamp_[lid] == scratch->round_epoch_) continue;
+        scratch->round_stamp_[lid] = scratch->round_epoch_;
+        TupleCount cover = 0;
+        for (std::uint32_t p = off[lid]; p < off[lid + 1]; ++p) {
+          const std::uint32_t j = post[p];
+          if (!scratch->scheduled[j]) cover += requests.requests[j].tuples;
+        }
+        if (cover > best_cover ||
+            (cover == best_cover && best_node == kInvalidNode)) {
+          best_cover = cover;
+          best_node = cand[k];
+          best_lid = lid;
+        }
+      }
+    }
+    NASHDB_DCHECK(best_node != kInvalidNode);
+    for (std::uint32_t p = off[best_lid]; p < off[best_lid + 1]; ++p) {
+      const std::uint32_t j = post[p];
+      if (scratch->scheduled[j]) continue;
+      scratch->scheduled[j] = 1;
+      --remaining;
+      out->push_back(RoutedRead{j, best_node});
+    }
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- PowerOfTwo
+
 PowerOfTwoRouter::PowerOfTwoRouter(std::uint64_t seed) : rng_(seed) {}
 
 Result<std::vector<RoutedRead>> PowerOfTwoRouter::Route(
@@ -181,6 +370,50 @@ Result<std::vector<RoutedRead>> PowerOfTwoRouter::Route(
     out.push_back(RoutedRead{i, pick});
   }
   return out;
+}
+
+Status PowerOfTwoRouter::RouteInto(const RequestBatch& requests,
+                                   const WaitView& waits,
+                                   double read_seconds_per_tuple, double phi_s,
+                                   RouterScratch* scratch,
+                                   std::vector<RoutedRead>* out) {
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
+  out->clear();
+  scratch->BeginScan(waits);
+  for (std::size_t i = 0; i < requests.count; ++i) {
+    const FlatRequest& req = requests.requests[i];
+    const NodeId* cand = requests.cands(req);
+    NodeId pick;
+    if (req.cand_count <= 2) {
+      pick = cand[0];
+      for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+        const NodeId m = cand[k];
+        const double w =
+            scratch->Wait(m) + (scratch->Used(m) ? 0.0 : phi_s);
+        const double wp =
+            scratch->Wait(pick) + (scratch->Used(pick) ? 0.0 : phi_s);
+        if (w < wp) pick = m;
+      }
+    } else {
+      const std::size_t a =
+          static_cast<std::size_t>(rng_.Uniform(req.cand_count));
+      std::size_t b =
+          static_cast<std::size_t>(rng_.Uniform(req.cand_count - 1));
+      if (b >= a) ++b;
+      const NodeId ma = cand[a];
+      const NodeId mb = cand[b];
+      const double wa =
+          scratch->Wait(ma) + (scratch->Used(ma) ? 0.0 : phi_s);
+      const double wb =
+          scratch->Wait(mb) + (scratch->Used(mb) ? 0.0 : phi_s);
+      pick = wa <= wb ? ma : mb;
+    }
+    scratch->MarkUsed(pick);
+    scratch->AddWait(pick, static_cast<double>(req.tuples) *
+                               read_seconds_per_tuple);
+    out->push_back(RoutedRead{i, pick});
+  }
+  return Status::OK();
 }
 
 }  // namespace nashdb

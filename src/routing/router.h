@@ -1,6 +1,7 @@
 #ifndef NASHDB_ROUTING_ROUTER_H_
 #define NASHDB_ROUTING_ROUTER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -28,6 +29,135 @@ struct RoutedRead {
   NodeId node = kInvalidNode;
 };
 
+// ---------------------------------------------------------------------------
+// Allocation-free hot path (steady-state query path, DESIGN.md §10). The
+// driver resolves each scan into flat request records whose candidate lists
+// are spans into a shared NodeId pool, evaluates per-node waits lazily
+// through a WaitView over the sim's incrementally-maintained busy-until
+// array, and routes through RouteInto with a reusable RouterScratch — no
+// per-scan vector allocations and no work proportional to the cluster size.
+// ---------------------------------------------------------------------------
+
+/// Flat form of one FragmentRequest: candidates are `cand_count` entries
+/// starting at `cand_begin` in the batch's candidate pool.
+struct FlatRequest {
+  FlatFragmentId frag = 0;
+  TupleCount tuples = 0;
+  std::uint32_t cand_begin = 0;
+  std::uint32_t cand_count = 0;
+};
+
+/// Non-owning view of one scan's requests plus the candidate pool the
+/// requests' spans index into. Candidate lists must be duplicate-free (the
+/// ClusterConfig invariant — no node holds two replicas of one fragment).
+struct RequestBatch {
+  const FlatRequest* requests = nullptr;
+  std::size_t count = 0;
+  const NodeId* cand_pool = nullptr;
+
+  const NodeId* cands(const FlatRequest& r) const {
+    return cand_pool + r.cand_begin;
+  }
+};
+
+/// O(1) per-node wait lookup at a fixed scheduling time: wait(m) =
+/// max(0, busy_until[m] - at), the exact ClusterSim::WaitSeconds formula
+/// over the sim's busy-until array (which the sim already maintains
+/// incrementally on every enqueue / transition / fault). Replaces the
+/// per-scan O(node_count) wait-vector rebuild. For tests, any array of
+/// non-negative base waits with at = 0 is an equivalent source.
+class WaitView {
+ public:
+  WaitView(const SimTime* busy_until, std::size_t node_count, SimTime at)
+      : busy_until_(busy_until), node_count_(node_count), at_(at) {}
+
+  double At(NodeId m) const {
+    return std::max<SimTime>(0.0, busy_until_[m] - at_);
+  }
+  std::size_t node_count() const { return node_count_; }
+
+ private:
+  const SimTime* busy_until_;
+  std::size_t node_count_;
+  SimTime at_;
+};
+
+/// Reusable working state for RouteInto. One scratch may serve any number
+/// of routers and scans; it grows to the largest node count / batch seen
+/// and never shrinks. Per-node state (working wait, span membership) is
+/// epoch-stamped, so beginning a new scan is O(1) — stale entries from
+/// earlier scans are simply never read.
+///
+/// Treat everything below as opaque router working memory; the members are
+/// public only because the four router implementations share them.
+class RouterScratch {
+ public:
+  /// Starts a new routing call against `waits`. O(1) once the node-state
+  /// array has grown to the cluster size.
+  void BeginScan(const WaitView& waits) {
+    view_ = &waits;
+    if (nodes_.size() < waits.node_count()) nodes_.resize(waits.node_count());
+    ++epoch_;
+  }
+
+  /// Node m's working wait: lazily initialized from the view on first
+  /// touch this scan, then advanced in place by AddWait — the same
+  /// accumulate-into-one-double sequence as the legacy waits vector, so
+  /// results are bit-identical.
+  double Wait(NodeId m) { return Touch(m).wait; }
+  void AddWait(NodeId m, double delta) { Touch(m).wait += delta; }
+
+  /// Span membership of node m within the current scan.
+  bool Used(NodeId m) { return Touch(m).used; }
+  void MarkUsed(NodeId m) { Touch(m).used = true; }
+
+  /// Per-request scheduled flags (sized per call by the router).
+  std::vector<std::uint8_t> scheduled;
+
+  // --- Greedy set-cover state (postings lists, built per call) ---------
+  /// Dense local id per node touched this call, in first-appearance order.
+  std::uint32_t LocalId(NodeId m) {
+    NodeState& st = Touch(m);
+    if (st.local_id == kNoLocalId) {
+      st.local_id = static_cast<std::uint32_t>(call_nodes_.size());
+      call_nodes_.push_back(m);
+    }
+    return st.local_id;
+  }
+
+  std::vector<NodeId> call_nodes_;       // local id -> NodeId
+  std::vector<std::uint32_t> post_off_;  // per local id: offset into post_req_
+  std::vector<std::uint32_t> post_req_;  // request indices, ascending per node
+  std::vector<std::uint32_t> post_cursor_;  // fill cursors (build pass 2)
+  std::vector<std::uint64_t> round_stamp_;  // per local id, Greedy SC rounds
+  std::uint64_t round_epoch_ = 0;
+
+ private:
+  static constexpr std::uint32_t kNoLocalId = 0xffffffffu;
+
+  struct NodeState {
+    std::uint64_t stamp = 0;
+    double wait = 0.0;
+    bool used = false;
+    std::uint32_t local_id = kNoLocalId;
+  };
+
+  NodeState& Touch(NodeId m) {
+    NodeState& st = nodes_[m];
+    if (st.stamp != epoch_) {
+      st.stamp = epoch_;
+      st.wait = view_->At(m);
+      st.used = false;
+      st.local_id = kNoLocalId;
+    }
+    return st;
+  }
+
+  std::vector<NodeState> nodes_;
+  std::uint64_t epoch_ = 0;
+  const WaitView* view_ = nullptr;
+};
+
 /// Strategy for routing the fragment reads of one range scan to replica
 /// nodes (paper §8). Implementations receive the per-node pending work
 /// `waits` (seconds) as a working copy they may advance while scheduling.
@@ -48,15 +178,32 @@ class ScanRouter {
   /// unroutable right now and every implementation returns a
   /// FailedPrecondition routing failure (never indexes into the empty
   /// list). The caller decides whether to retry, repair, or abort.
+  ///
+  /// This is the seed (reference) implementation, kept as the routing
+  /// oracle for the equivalence suite and the before/after benchmark; the
+  /// driver's steady-state path uses RouteInto.
   virtual Result<std::vector<RoutedRead>> Route(
       const std::vector<FragmentRequest>& requests, std::vector<double> waits,
       double read_seconds_per_tuple, double phi_s) = 0;
+
+  /// Allocation-free variant of Route: the same routing decisions — node
+  /// for node, tie for tie, RNG draw for RNG draw (the router equivalence
+  /// suite enforces this) — resolved into the caller-owned `*out` (cleared
+  /// first; capacity is reused) using `*scratch` for working state.
+  /// Returns FailedPrecondition if any request has an empty candidate
+  /// span.
+  virtual Status RouteInto(const RequestBatch& requests,
+                           const WaitView& waits,
+                           double read_seconds_per_tuple, double phi_s,
+                           RouterScratch* scratch,
+                           std::vector<RoutedRead>* out) = 0;
 };
 
 /// Shared precondition for all routers: every request must have at least
 /// one candidate replica. Returns FailedPrecondition naming the first
 /// fragment with none.
 Status ValidateRoutable(const std::vector<FragmentRequest>& requests);
+Status ValidateRoutable(const RequestBatch& requests);
 
 /// The paper's Max-of-mins router: repeatedly schedules the request whose
 /// *minimum achievable* wait (over candidates, adding φ for nodes the scan
@@ -69,6 +216,10 @@ class MaxOfMinsRouter : public ScanRouter {
   Result<std::vector<RoutedRead>> Route(
       const std::vector<FragmentRequest>& requests, std::vector<double> waits,
       double read_seconds_per_tuple, double phi_s) override;
+  Status RouteInto(const RequestBatch& requests, const WaitView& waits,
+                   double read_seconds_per_tuple, double phi_s,
+                   RouterScratch* scratch,
+                   std::vector<RoutedRead>* out) override;
 };
 
 /// Baseline: each request goes to its shortest-queue candidate, ignoring
@@ -79,17 +230,29 @@ class ShortestQueueRouter : public ScanRouter {
   Result<std::vector<RoutedRead>> Route(
       const std::vector<FragmentRequest>& requests, std::vector<double> waits,
       double read_seconds_per_tuple, double phi_s) override;
+  Status RouteInto(const RequestBatch& requests, const WaitView& waits,
+                   double read_seconds_per_tuple, double phi_s,
+                   RouterScratch* scratch,
+                   std::vector<RoutedRead>* out) override;
 };
 
 /// Baseline: greedy set cover minimizing query span ([24]; the paper's
 /// "Greedy SC"): repeatedly pick the node covering the most remaining
-/// tuples and assign it all requests it can serve.
+/// tuples and assign it all requests it can serve. RouteInto replaces the
+/// reference implementation's O(requests² · |cand|) std::find inner loops
+/// with per-call node→requests postings lists, making each round
+/// O(total candidate entries) while visiting nodes in the identical
+/// first-appearance order (so decisions, including ties, match exactly).
 class GreedyScRouter : public ScanRouter {
  public:
   std::string_view name() const override { return "Greedy SC"; }
   Result<std::vector<RoutedRead>> Route(
       const std::vector<FragmentRequest>& requests, std::vector<double> waits,
       double read_seconds_per_tuple, double phi_s) override;
+  Status RouteInto(const RequestBatch& requests, const WaitView& waits,
+                   double read_seconds_per_tuple, double phi_s,
+                   RouterScratch* scratch,
+                   std::vector<RoutedRead>* out) override;
 };
 
 /// "Power of two choices" variant (the paper's footnote 3, after [32,
@@ -98,6 +261,12 @@ class GreedyScRouter : public ScanRouter {
 /// nodes and takes the better one under the Eq. 11 criterion
 /// (wait + φ if the node is not yet in the query's span). O(1) per
 /// request regardless of replication factor.
+///
+/// RNG-consumption contract (pinned by unit test; determinism tests
+/// depend on the draw order): a request with <= 2 candidates draws
+/// nothing; a request with > 2 candidates draws exactly two values
+/// (Uniform(c) then Uniform(c - 1)). Route and RouteInto consume
+/// identically.
 class PowerOfTwoRouter : public ScanRouter {
  public:
   explicit PowerOfTwoRouter(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
@@ -106,6 +275,15 @@ class PowerOfTwoRouter : public ScanRouter {
   Result<std::vector<RoutedRead>> Route(
       const std::vector<FragmentRequest>& requests, std::vector<double> waits,
       double read_seconds_per_tuple, double phi_s) override;
+  Status RouteInto(const RequestBatch& requests, const WaitView& waits,
+                   double read_seconds_per_tuple, double phi_s,
+                   RouterScratch* scratch,
+                   std::vector<RoutedRead>* out) override;
+
+  /// Test-only seam for the RNG-consumption contract test: exposes the
+  /// internal generator so a test can compare its state against a
+  /// reference Rng that replayed the expected draws.
+  Rng* mutable_rng_for_test() { return &rng_; }
 
  private:
   Rng rng_;

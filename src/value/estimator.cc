@@ -46,7 +46,9 @@ ValueProfile TupleValueEstimator::Profile(TableId table,
   const ValueEstimationTree* t = tree(table);
   if (t != nullptr && !buffer_.empty()) {
     const Money w = static_cast<Money>(buffer_.size());
-    t->IterateValues([&](TupleIndex start, TupleIndex end, Money raw) {
+    // Template walk (no std::function dispatch, no recursion) — Profile is
+    // called once per table per reconfiguration round.
+    t->ForEachChunk([&](TupleIndex start, TupleIndex end, Money raw) {
       chunks.push_back(ValueChunk{start, end, raw / w});
     });
   }

@@ -1,0 +1,55 @@
+#ifndef NASHDB_VALUE_REFERENCE_VALUE_TREE_H_
+#define NASHDB_VALUE_REFERENCE_VALUE_TREE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+
+namespace nashdb {
+
+/// The original pointer-based AVL implementation of the §4.2 value
+/// estimation tree, preserved verbatim as the differential-testing oracle
+/// for the flat arena-backed ValueEstimationTree (DESIGN.md §10). Semantics
+/// are specified on ValueEstimationTree; the two must produce bit-identical
+/// RawValueAt and IterateValues output for any interleaving of AddScan /
+/// RemoveScan (enforced by value_tree_equivalence_test).
+///
+/// Not used on any production path — linked only by tests and benches.
+namespace internal_ref_value {
+struct TreeNode;
+}  // namespace internal_ref_value
+
+class ReferenceValueTree {
+ public:
+  ReferenceValueTree();
+  ~ReferenceValueTree();
+
+  ReferenceValueTree(const ReferenceValueTree&) = delete;
+  ReferenceValueTree& operator=(const ReferenceValueTree&) = delete;
+  ReferenceValueTree(ReferenceValueTree&&) noexcept;
+  ReferenceValueTree& operator=(ReferenceValueTree&&) noexcept;
+
+  void AddScan(TupleIndex start, TupleIndex end, Money np);
+  void RemoveScan(TupleIndex start, TupleIndex end, Money np);
+  Money RawValueAt(TupleIndex x) const;
+
+  using ChunkFn =
+      std::function<void(TupleIndex start, TupleIndex end, Money raw_value)>;
+  void IterateValues(const ChunkFn& fn) const;
+
+  std::size_t node_count() const { return node_count_; }
+  bool empty() const { return node_count_ == 0; }
+  std::size_t SizeBytes() const;
+  int Height() const;
+  void CheckInvariants() const;
+
+ private:
+  std::unique_ptr<internal_ref_value::TreeNode> root_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_VALUE_REFERENCE_VALUE_TREE_H_

@@ -2,228 +2,217 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace nashdb {
 
-namespace {
-// Tolerance below which an accumulated value is considered floating-point
-// noise (IterateValues chunk suppression). Deliberately NOT used to decide
-// node lifetime: a live scan's normalized price can be far below any fixed
-// epsilon (price 1e-6 over 1e7 tuples is 1e-13), so liveness is tracked by
-// the per-key contribution counts below instead of a magnitude test.
-constexpr Money kEps = 1e-12;
-}  // namespace
+using internal_value::FlatNode;
 
-namespace internal_value {
+// ---- arena ------------------------------------------------------------
 
-struct TreeNode {
-  TupleIndex key;
-  Money s = 0.0;  // summed normalized price of scans starting here
-  Money e = 0.0;  // summed normalized price of scans ending here
-  // Number of buffered scans contributing to s / e. A node may be deleted
-  // only when both counts reach zero; when one does, its accumulator is
-  // snapped to exactly 0.0, discarding cancellation residue.
-  std::uint32_t s_count = 0;
-  std::uint32_t e_count = 0;
-  int height = 1;
-  Money subtree_delta = 0.0;  // sum of (s - e) over this subtree
-  std::unique_ptr<TreeNode> left;
-  std::unique_ptr<TreeNode> right;
-
-  explicit TreeNode(TupleIndex k) : key(k) {}
-
-  Money delta() const { return s - e; }
-};
-
-}  // namespace internal_value
-
-namespace {
-using Node = internal_value::TreeNode;
-}  // namespace
-
-// ---- static helpers on nodes -----------------------------------------
-
-namespace {
-
-int HeightOf(const std::unique_ptr<Node>& n) { return n ? n->height : 0; }
-
-Money SubtreeDelta(const std::unique_ptr<Node>& n) {
-  return n ? n->subtree_delta : 0.0;
-}
-
-void Update(Node* n) {
-  n->height = 1 + std::max(HeightOf(n->left), HeightOf(n->right));
-  n->subtree_delta =
-      n->delta() + SubtreeDelta(n->left) + SubtreeDelta(n->right);
-}
-
-int BalanceFactor(const Node* n) {
-  return HeightOf(n->left) - HeightOf(n->right);
-}
-
-// Right rotation around *root; *root's left child becomes the new root.
-void RotateRight(std::unique_ptr<Node>* root) {
-  std::unique_ptr<Node> l = std::move((*root)->left);
-  (*root)->left = std::move(l->right);
-  Update(root->get());
-  l->right = std::move(*root);
-  Update(l.get());
-  *root = std::move(l);
-}
-
-void RotateLeft(std::unique_ptr<Node>* root) {
-  std::unique_ptr<Node> r = std::move((*root)->right);
-  (*root)->right = std::move(r->left);
-  Update(root->get());
-  r->left = std::move(*root);
-  Update(r.get());
-  *root = std::move(r);
-}
-
-void Rebalance(std::unique_ptr<Node>* root) {
-  Update(root->get());
-  const int bf = BalanceFactor(root->get());
-  if (bf > 1) {
-    if (BalanceFactor((*root)->left.get()) < 0) {
-      RotateLeft(&(*root)->left);
-    }
-    RotateRight(root);
-  } else if (bf < -1) {
-    if (BalanceFactor((*root)->right.get()) > 0) {
-      RotateRight(&(*root)->right);
-    }
-    RotateLeft(root);
+std::int32_t ValueEstimationTree::NewNode(TupleIndex key) {
+  std::int32_t n;
+  if (free_head_ != kNil) {
+    n = free_head_;
+    free_head_ = nodes_[n].left;
+    nodes_[n] = FlatNode{};
+  } else {
+    NASHDB_CHECK_LT(
+        nodes_.size(),
+        static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()))
+        << "value tree arena exhausted 32-bit indexing";
+    n = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
   }
+  nodes_[n].key = key;
+  return n;
+}
+
+void ValueEstimationTree::ReleaseNode(std::int32_t n) {
+  nodes_[n].left = free_head_;
+  free_head_ = n;
+}
+
+// ---- AVL primitives ---------------------------------------------------
+//
+// Functional style: every mutator takes a subtree root index and returns
+// the root index afterwards. The float accumulation order inside Refresh /
+// the rotations is exactly the reference tree's (Update / RotateLeft /
+// RotateRight) so the two implementations stay bit-identical.
+
+void ValueEstimationTree::Refresh(std::int32_t n) {
+  FlatNode& node = nodes_[n];
+  node.height = 1 + std::max(HeightOf(node.left), HeightOf(node.right));
+  node.subtree_delta =
+      node.delta() + SubtreeDelta(node.left) + SubtreeDelta(node.right);
+}
+
+// Right rotation around `root`; root's left child becomes the new root.
+std::int32_t ValueEstimationTree::RotateRight(std::int32_t root) {
+  const std::int32_t l = nodes_[root].left;
+  nodes_[root].left = nodes_[l].right;
+  Refresh(root);
+  nodes_[l].right = root;
+  Refresh(l);
+  return l;
+}
+
+std::int32_t ValueEstimationTree::RotateLeft(std::int32_t root) {
+  const std::int32_t r = nodes_[root].right;
+  nodes_[root].right = nodes_[r].left;
+  Refresh(root);
+  nodes_[r].left = root;
+  Refresh(r);
+  return r;
+}
+
+std::int32_t ValueEstimationTree::Rebalance(std::int32_t root) {
+  Refresh(root);
+  const int bf = BalanceFactor(root);
+  if (bf > 1) {
+    if (BalanceFactor(nodes_[root].left) < 0) {
+      nodes_[root].left = RotateLeft(nodes_[root].left);
+    }
+    return RotateRight(root);
+  }
+  if (bf < -1) {
+    if (BalanceFactor(nodes_[root].right) > 0) {
+      nodes_[root].right = RotateRight(nodes_[root].right);
+    }
+    return RotateLeft(root);
+  }
+  return root;
 }
 
 // Inserts `amount` into the s (is_start) or e (!is_start) field of the node
-// with key `key`, creating the node if absent. Returns true if a node was
-// created.
-bool AddAt(std::unique_ptr<Node>* root, TupleIndex key, Money amount,
-           bool is_start) {
-  if (!*root) {
-    *root = std::make_unique<Node>(key);
+// with key `key`, creating the node if absent (sets *created).
+std::int32_t ValueEstimationTree::AddAt(std::int32_t root, TupleIndex key,
+                                        Money amount, bool is_start,
+                                        bool* created) {
+  if (root == kNil) {
+    const std::int32_t n = NewNode(key);
+    FlatNode& node = nodes_[n];
     if (is_start) {
-      (*root)->s = amount;
-      (*root)->s_count = 1;
+      node.s = amount;
+      node.s_count = 1;
     } else {
-      (*root)->e = amount;
-      (*root)->e_count = 1;
+      node.e = amount;
+      node.e_count = 1;
     }
-    Update(root->get());
-    return true;
+    Refresh(n);
+    *created = true;
+    return n;
   }
-  bool created = false;
-  if (key < (*root)->key) {
-    created = AddAt(&(*root)->left, key, amount, is_start);
-  } else if (key > (*root)->key) {
-    created = AddAt(&(*root)->right, key, amount, is_start);
+  if (key < nodes_[root].key) {
+    // Re-assign through the index: the recursive call may grow the arena,
+    // so no reference into nodes_ survives across it.
+    const std::int32_t nl = AddAt(nodes_[root].left, key, amount, is_start,
+                                  created);
+    nodes_[root].left = nl;
+  } else if (key > nodes_[root].key) {
+    const std::int32_t nr = AddAt(nodes_[root].right, key, amount, is_start,
+                                  created);
+    nodes_[root].right = nr;
   } else {
+    FlatNode& node = nodes_[root];
     if (is_start) {
-      (*root)->s += amount;
-      ++(*root)->s_count;
+      node.s += amount;
+      ++node.s_count;
     } else {
-      (*root)->e += amount;
-      ++(*root)->e_count;
+      node.e += amount;
+      ++node.e_count;
     }
   }
-  Rebalance(root);
-  return created;
+  return Rebalance(root);
 }
 
-// Removes the minimum node of the subtree, returning it (with children
-// detached appropriately).
-std::unique_ptr<Node> PopMin(std::unique_ptr<Node>* root) {
-  if (!(*root)->left) {
-    std::unique_ptr<Node> min = std::move(*root);
-    *root = std::move(min->right);
-    return min;
+// Detaches the minimum node of the subtree into *min and returns the
+// remaining subtree's root. *min keeps stale children; the caller rewires
+// them.
+std::int32_t ValueEstimationTree::PopMin(std::int32_t root,
+                                         std::int32_t* min) {
+  if (nodes_[root].left == kNil) {
+    *min = root;
+    return nodes_[root].right;
   }
-  std::unique_ptr<Node> min = PopMin(&(*root)->left);
-  Rebalance(root);
-  return min;
+  const std::int32_t nl = PopMin(nodes_[root].left, min);
+  nodes_[root].left = nl;
+  return Rebalance(root);
 }
 
-// Deletes the node with key `key`. Returns true if a node was removed.
-bool DeleteAt(std::unique_ptr<Node>* root, TupleIndex key) {
-  if (!*root) return false;
-  bool removed = false;
-  if (key < (*root)->key) {
-    removed = DeleteAt(&(*root)->left, key);
-  } else if (key > (*root)->key) {
-    removed = DeleteAt(&(*root)->right, key);
+// Deletes the node with key `key` (which must exist) and releases its slot.
+std::int32_t ValueEstimationTree::DeleteAt(std::int32_t root,
+                                           TupleIndex key) {
+  if (root == kNil) return kNil;
+  if (key < nodes_[root].key) {
+    const std::int32_t nl = DeleteAt(nodes_[root].left, key);
+    nodes_[root].left = nl;
+  } else if (key > nodes_[root].key) {
+    const std::int32_t nr = DeleteAt(nodes_[root].right, key);
+    nodes_[root].right = nr;
   } else {
-    removed = true;
-    if (!(*root)->left) {
-      *root = std::move((*root)->right);
-    } else if (!(*root)->right) {
-      *root = std::move((*root)->left);
+    const std::int32_t left = nodes_[root].left;
+    const std::int32_t right = nodes_[root].right;
+    std::int32_t replacement;
+    if (left == kNil) {
+      replacement = right;
+    } else if (right == kNil) {
+      replacement = left;
     } else {
-      std::unique_ptr<Node> succ = PopMin(&(*root)->right);
-      succ->left = std::move((*root)->left);
-      succ->right = std::move((*root)->right);
-      *root = std::move(succ);
+      std::int32_t succ = kNil;
+      const std::int32_t new_right = PopMin(right, &succ);
+      nodes_[succ].left = left;
+      nodes_[succ].right = new_right;
+      replacement = succ;
     }
+    ReleaseNode(root);
+    root = replacement;
   }
-  if (*root) Rebalance(root);
-  return removed;
+  if (root == kNil) return kNil;
+  return Rebalance(root);
 }
 
-// Adds `amount` to s/e of the existing node with key `key`; returns a
-// pointer to the node afterwards (nullptr if not found). Does not create.
-Node* FindMutable(Node* root, TupleIndex key) {
-  while (root) {
-    if (key < root->key) {
-      root = root->left.get();
-    } else if (key > root->key) {
-      root = root->right.get();
+std::int32_t ValueEstimationTree::FindMutable(TupleIndex key) {
+  std::int32_t n = root_;
+  while (n != kNil) {
+    if (key < nodes_[n].key) {
+      n = nodes_[n].left;
+    } else if (key > nodes_[n].key) {
+      n = nodes_[n].right;
     } else {
-      return root;
+      return n;
     }
   }
-  return nullptr;
+  return kNil;
 }
 
 // Recomputes subtree_delta along the search path to `key` (after a field of
 // that node was modified in place).
-void RefreshPath(Node* root, TupleIndex key) {
-  if (!root) return;
-  if (key < root->key) {
-    RefreshPath(root->left.get(), key);
-  } else if (key > root->key) {
-    RefreshPath(root->right.get(), key);
+void ValueEstimationTree::RefreshPath(std::int32_t root, TupleIndex key) {
+  if (root == kNil) return;
+  if (key < nodes_[root].key) {
+    RefreshPath(nodes_[root].left, key);
+  } else if (key > nodes_[root].key) {
+    RefreshPath(nodes_[root].right, key);
   }
-  Update(root);
+  Refresh(root);
 }
 
-void InOrder(const Node* n, const std::function<void(const Node*)>& fn) {
-  if (!n) return;
-  InOrder(n->left.get(), fn);
-  fn(n);
-  InOrder(n->right.get(), fn);
-}
-
-}  // namespace
-
-// ---- ValueEstimationTree ----------------------------------------------
-
-ValueEstimationTree::ValueEstimationTree() = default;
-ValueEstimationTree::~ValueEstimationTree() = default;
-ValueEstimationTree::ValueEstimationTree(ValueEstimationTree&&) noexcept =
-    default;
-ValueEstimationTree& ValueEstimationTree::operator=(
-    ValueEstimationTree&&) noexcept = default;
+// ---- public API -------------------------------------------------------
 
 void ValueEstimationTree::AddScan(TupleIndex start, TupleIndex end,
                                   Money np) {
   NASHDB_DCHECK(start < end);
   NASHDB_DCHECK(np >= 0.0);
-  if (AddAt(&root_, start, np, /*is_start=*/true)) ++node_count_;
-  if (AddAt(&root_, end, np, /*is_start=*/false)) ++node_count_;
+  bool created = false;
+  root_ = AddAt(root_, start, np, /*is_start=*/true, &created);
+  if (created) ++node_count_;
+  created = false;
+  root_ = AddAt(root_, end, np, /*is_start=*/false, &created);
+  if (created) ++node_count_;
 }
 
 void ValueEstimationTree::RemoveScan(TupleIndex start, TupleIndex end,
@@ -231,10 +220,11 @@ void ValueEstimationTree::RemoveScan(TupleIndex start, TupleIndex end,
   NASHDB_DCHECK(start < end);
   for (const auto& [key, is_start] :
        {std::pair{start, true}, std::pair{end, false}}) {
-    Node* n = FindMutable(root_.get(), key);
-    NASHDB_CHECK(n != nullptr)
+    const std::int32_t ni = FindMutable(key);
+    NASHDB_CHECK(ni != kNil)
         << "RemoveScan for a scan not present in the tree (key=" << key
         << ")";
+    FlatNode& n = nodes_[ni];
     // Liveness is decided by the contribution counts, never by the
     // magnitude of the accumulator: an epsilon test would wipe a co-keyed
     // live scan whose normalized price is below the tolerance, and its own
@@ -242,24 +232,24 @@ void ValueEstimationTree::RemoveScan(TupleIndex start, TupleIndex end,
     // last contributor leaves, the accumulator is snapped to exactly 0.0
     // so cancellation residue cannot leak into the value function.
     if (is_start) {
-      NASHDB_CHECK_GT(n->s_count, 0u)
+      NASHDB_CHECK_GT(n.s_count, 0u)
           << "RemoveScan start without a matching AddScan (key=" << key
           << ")";
-      --n->s_count;
-      n->s -= np;
-      if (n->s_count == 0) n->s = 0.0;
+      --n.s_count;
+      n.s -= np;
+      if (n.s_count == 0) n.s = 0.0;
     } else {
-      NASHDB_CHECK_GT(n->e_count, 0u)
+      NASHDB_CHECK_GT(n.e_count, 0u)
           << "RemoveScan end without a matching AddScan (key=" << key << ")";
-      --n->e_count;
-      n->e -= np;
-      if (n->e_count == 0) n->e = 0.0;
+      --n.e_count;
+      n.e -= np;
+      if (n.e_count == 0) n.e = 0.0;
     }
-    if (n->s_count == 0 && n->e_count == 0) {
-      DeleteAt(&root_, key);
+    if (n.s_count == 0 && n.e_count == 0) {
+      root_ = DeleteAt(root_, key);
       --node_count_;
     } else {
-      RefreshPath(root_.get(), key);
+      RefreshPath(root_, key);
     }
   }
 }
@@ -267,70 +257,52 @@ void ValueEstimationTree::RemoveScan(TupleIndex start, TupleIndex end,
 Money ValueEstimationTree::RawValueAt(TupleIndex x) const {
   // Sum delta over all keys <= x using the subtree aggregates.
   Money acc = 0.0;
-  const Node* n = root_.get();
-  while (n) {
-    if (n->key <= x) {
-      acc += SubtreeDelta(n->left) + n->delta();
-      n = n->right.get();
+  std::int32_t n = root_;
+  while (n != kNil) {
+    const FlatNode& node = nodes_[n];
+    if (node.key <= x) {
+      acc += SubtreeDelta(node.left) + node.delta();
+      n = node.right;
     } else {
-      n = n->left.get();
+      n = node.left;
     }
   }
   return acc;
 }
 
-void ValueEstimationTree::IterateValues(const ChunkFn& fn) const {
-  // Algorithm 1: in-order traversal with an accumulator. Each node opens a
-  // chunk that extends to the next node's key.
-  Money alpha = 0.0;
-  bool have_prev = false;
-  TupleIndex prev_key = 0;
-  InOrder(root_.get(), [&](const Node* n) {
-    if (have_prev && std::abs(alpha) > kEps && n->key > prev_key) {
-      fn(prev_key, n->key, alpha);
-    }
-    alpha += n->delta();
-    prev_key = n->key;
-    have_prev = true;
-  });
-  // After the final node the accumulator must return to ~0 (every scan that
-  // starts also ends); any residual is floating-point noise, and there is no
-  // chunk to emit past the last key.
+std::size_t ValueEstimationTree::CheckSubtree(std::int32_t ni,
+                                              const TupleIndex* lo,
+                                              const TupleIndex* hi) const {
+  if (ni == kNil) return 0;
+  const FlatNode& n = nodes_[ni];
+  if (lo) NASHDB_CHECK_GT(n.key, *lo);
+  if (hi) NASHDB_CHECK_LT(n.key, *hi);
+  // A node exists iff some buffered scan still references its key, and
+  // an accumulator with no contributors must have been snapped to 0.
+  NASHDB_CHECK(n.s_count > 0 || n.e_count > 0)
+      << "zombie node at key " << n.key;
+  if (n.s_count == 0) NASHDB_CHECK_EQ(n.s, 0.0);
+  if (n.e_count == 0) NASHDB_CHECK_EQ(n.e, 0.0);
+  NASHDB_CHECK_LE(std::abs(BalanceFactor(ni)), 1);
+  NASHDB_CHECK_EQ(n.height, 1 + std::max(HeightOf(n.left), HeightOf(n.right)));
+  const Money expect =
+      n.delta() + SubtreeDelta(n.left) + SubtreeDelta(n.right);
+  NASHDB_CHECK(std::abs(n.subtree_delta - expect) < 1e-9)
+      << "subtree_delta stale at key " << n.key;
+  return 1 + CheckSubtree(n.left, lo, &n.key) + CheckSubtree(n.right, &n.key, hi);
 }
-
-std::size_t ValueEstimationTree::SizeBytes() const {
-  return node_count_ * sizeof(Node);
-}
-
-int ValueEstimationTree::Height() const { return HeightOf(root_); }
 
 void ValueEstimationTree::CheckInvariants() const {
-  struct Checker {
-    static std::size_t Check(const Node* n, const TupleIndex* lo,
-                             const TupleIndex* hi) {
-      if (!n) return 0;
-      if (lo) NASHDB_CHECK_GT(n->key, *lo);
-      if (hi) NASHDB_CHECK_LT(n->key, *hi);
-      // A node exists iff some buffered scan still references its key, and
-      // an accumulator with no contributors must have been snapped to 0.
-      NASHDB_CHECK(n->s_count > 0 || n->e_count > 0)
-          << "zombie node at key " << n->key;
-      if (n->s_count == 0) NASHDB_CHECK_EQ(n->s, 0.0);
-      if (n->e_count == 0) NASHDB_CHECK_EQ(n->e, 0.0);
-      NASHDB_CHECK_LE(std::abs(BalanceFactor(n)), 1);
-      NASHDB_CHECK_EQ(
-          n->height, 1 + std::max(HeightOf(n->left), HeightOf(n->right)));
-      const Money expect =
-          n->delta() + SubtreeDelta(n->left) + SubtreeDelta(n->right);
-      NASHDB_CHECK(std::abs(n->subtree_delta - expect) < 1e-9)
-          << "subtree_delta stale at key " << n->key;
-      return 1 + Check(n->left.get(), lo, &n->key) +
-             Check(n->right.get(), &n->key, hi);
-    }
-  };
-  const std::size_t counted =
-      Checker::Check(root_.get(), nullptr, nullptr);
+  const std::size_t counted = CheckSubtree(root_, nullptr, nullptr);
   NASHDB_CHECK_EQ(counted, node_count_);
+  // Arena accounting: every slot is either a live node or on the free list
+  // (a broken free list would leak slots or double-allocate).
+  std::size_t free_slots = 0;
+  for (std::int32_t f = free_head_; f != kNil; f = nodes_[f].left) {
+    ++free_slots;
+    NASHDB_CHECK_LE(free_slots, nodes_.size()) << "free list cycle";
+  }
+  NASHDB_CHECK_EQ(node_count_ + free_slots, nodes_.size());
 }
 
 }  // namespace nashdb

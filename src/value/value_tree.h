@@ -1,10 +1,13 @@
 #ifndef NASHDB_VALUE_VALUE_TREE_H_
 #define NASHDB_VALUE_VALUE_TREE_H_
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <memory>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 
 namespace nashdb {
@@ -27,21 +30,63 @@ namespace nashdb {
 /// Delta(n) = S(n) - E(n) (the Appendix A quantity), which makes single-point
 /// lookups O(log n) instead of O(n).
 ///
+/// Representation (DESIGN.md §10): nodes live in one contiguous arena
+/// (std::vector) and children are 32-bit indices instead of owning
+/// pointers. Deleted slots are threaded onto a free list (through the
+/// `left` field) and reused before the arena grows, so a steady-state scan
+/// window — whose evictions and insertions roughly balance — performs no
+/// allocation at all, and the in-order walk touches one cache-friendly
+/// array instead of chasing 16-byte-apart heap pointers. The walk itself
+/// (ForEachChunk) is iterative over an explicit height-bounded stack and
+/// templated on the callback, so per-reconfiguration Profile() calls pay
+/// neither recursion nor std::function dispatch. Behavior is bit-identical
+/// to the original pointer AVL (ReferenceValueTree, kept as the test
+/// oracle): same rotations, same float accumulation order.
+///
 /// The tree does NOT own the scan window; pair it with ScanWindow (or use
 /// TupleValueEstimator, which composes both).
 namespace internal_value {
-struct TreeNode;
+
+/// One arena slot. 56 bytes/node vs the pointer AVL's 64-byte node plus
+/// per-node malloc metadata; exposed so tests can assert SizeBytes honesty.
+struct FlatNode {
+  TupleIndex key = 0;
+  Money s = 0.0;  // summed normalized price of scans starting here
+  Money e = 0.0;  // summed normalized price of scans ending here
+  Money subtree_delta = 0.0;  // sum of (s - e) over this subtree
+  // Number of buffered scans contributing to s / e. A node may be deleted
+  // only when both counts reach zero; when one does, its accumulator is
+  // snapped to exactly 0.0, discarding cancellation residue.
+  std::uint32_t s_count = 0;
+  std::uint32_t e_count = 0;
+  std::int32_t left = -1;   // arena index; -1 = none (free list: next free)
+  std::int32_t right = -1;  // arena index; -1 = none
+  std::int32_t height = 1;
+
+  Money delta() const { return s - e; }
+};
+
+/// Tolerance below which an accumulated value is considered floating-point
+/// noise (ForEachChunk chunk suppression). Deliberately NOT used to decide
+/// node lifetime: a live scan's normalized price can be far below any fixed
+/// epsilon (price 1e-6 over 1e7 tuples is 1e-13), so liveness is tracked by
+/// the per-key contribution counts instead of a magnitude test.
+inline constexpr Money kChunkEps = 1e-12;
+
+/// AVL height bound: < 1.4405 log2(n + 2), so 64 levels covers any arena
+/// addressable by 32-bit indices. ForEachChunk's stack is this deep.
+inline constexpr int kMaxHeight = 64;
+
 }  // namespace internal_value
 
 class ValueEstimationTree {
  public:
-  ValueEstimationTree();
-  ~ValueEstimationTree();
+  ValueEstimationTree() = default;
 
   ValueEstimationTree(const ValueEstimationTree&) = delete;
   ValueEstimationTree& operator=(const ValueEstimationTree&) = delete;
-  ValueEstimationTree(ValueEstimationTree&&) noexcept;
-  ValueEstimationTree& operator=(ValueEstimationTree&&) noexcept;
+  ValueEstimationTree(ValueEstimationTree&&) noexcept = default;
+  ValueEstimationTree& operator=(ValueEstimationTree&&) noexcept = default;
 
   /// Records one scan [start, end) with normalized price `np` (that is,
   /// Price(s)/Size(s)): S at `start` and E at `end` are incremented by `np`,
@@ -53,7 +98,7 @@ class ValueEstimationTree {
   /// and E; a node is deleted only when both counts reach zero (a
   /// magnitude test would wipe co-keyed live scans with tiny normalized
   /// prices). O(log n). The (start, end, np) triple must match a prior
-  /// AddScan.
+  /// AddScan. The freed slot is recycled by a later AddScan, not released.
   void RemoveScan(TupleIndex start, TupleIndex end, Money np);
 
   /// Un-averaged cumulative value at tuple x: sum of S(n) - E(n) over all
@@ -63,30 +108,103 @@ class ValueEstimationTree {
   /// Algorithm 1: walks the tree in order, invoking
   /// `fn(chunk_start, chunk_end, raw_value)` for each maximal run of tuples
   /// sharing the same un-averaged value. Chunks with raw_value == 0 before
-  /// the first key and after the last key are not reported. O(#nodes),
-  /// O(height) space.
+  /// the first key and after the last key are not reported. O(#nodes) time,
+  /// O(height) space, no allocation, no indirect dispatch.
+  template <typename Fn>
+  void ForEachChunk(Fn&& fn) const {
+    // Iterative in-order traversal: push the left spine, pop, descend right.
+    std::int32_t stack[internal_value::kMaxHeight];
+    int top = 0;
+    std::int32_t cur = root_;
+    Money alpha = 0.0;
+    bool have_prev = false;
+    TupleIndex prev_key = 0;
+    while (cur != kNil || top > 0) {
+      while (cur != kNil) {
+        stack[top++] = cur;
+        cur = nodes_[cur].left;
+      }
+      const internal_value::FlatNode& n = nodes_[stack[--top]];
+      if (have_prev && std::abs(alpha) > internal_value::kChunkEps &&
+          n.key > prev_key) {
+        fn(prev_key, n.key, alpha);
+      }
+      alpha += n.delta();
+      prev_key = n.key;
+      have_prev = true;
+      cur = n.right;
+    }
+    // After the final node the accumulator must return to ~0 (every scan
+    // that starts also ends); any residual is floating-point noise, and
+    // there is no chunk to emit past the last key.
+  }
+
+  /// Type-erased ForEachChunk, kept for callers that store the callback.
   using ChunkFn =
       std::function<void(TupleIndex start, TupleIndex end, Money raw_value)>;
-  void IterateValues(const ChunkFn& fn) const;
+  void IterateValues(const ChunkFn& fn) const { ForEachChunk(fn); }
 
   /// Number of distinct start/end keys currently stored.
   std::size_t node_count() const { return node_count_; }
 
   bool empty() const { return node_count_ == 0; }
 
-  /// Approximate heap footprint of the tree in bytes (for the paper's
-  /// §10.1 overhead measurement).
-  std::size_t SizeBytes() const;
+  /// Heap footprint of the tree in bytes (for the paper's §10.1 overhead
+  /// measurement): the whole arena allocation, including free-listed and
+  /// not-yet-used slots — what the process actually holds, not
+  /// node_count() * sizeof(node).
+  std::size_t SizeBytes() const {
+    return nodes_.capacity() * sizeof(internal_value::FlatNode);
+  }
+
+  /// Arena slots ever occupied (live nodes + free list). Tests use this to
+  /// assert slot recycling and SizeBytes honesty.
+  std::size_t arena_slots() const { return nodes_.size(); }
 
   /// Height of the tree (0 for empty); exposed for balance tests.
-  int Height() const;
+  int Height() const { return HeightOf(root_); }
 
-  /// Validates AVL balance, key ordering, and augmented sums; CHECK-fails
-  /// on violation. Exposed for tests.
+  /// Validates AVL balance, key ordering, augmented sums, and arena/free-
+  /// list accounting; CHECK-fails on violation. Exposed for tests.
   void CheckInvariants() const;
 
  private:
-  std::unique_ptr<internal_value::TreeNode> root_;
+  static constexpr std::int32_t kNil = -1;
+
+  int HeightOf(std::int32_t n) const {
+    return n == kNil ? 0 : nodes_[n].height;
+  }
+  Money SubtreeDelta(std::int32_t n) const {
+    return n == kNil ? 0.0 : nodes_[n].subtree_delta;
+  }
+  void Refresh(std::int32_t n);
+  int BalanceFactor(std::int32_t n) const {
+    return HeightOf(nodes_[n].left) - HeightOf(nodes_[n].right);
+  }
+
+  std::int32_t NewNode(TupleIndex key);
+  void ReleaseNode(std::int32_t n);
+
+  // Functional-style AVL primitives: take a subtree root index, return the
+  // (possibly different) root index afterwards. Indices stay valid across
+  // arena growth, unlike pointers into the vector.
+  std::int32_t RotateRight(std::int32_t root);
+  std::int32_t RotateLeft(std::int32_t root);
+  std::int32_t Rebalance(std::int32_t root);
+  std::int32_t AddAt(std::int32_t root, TupleIndex key, Money amount,
+                     bool is_start, bool* created);
+  std::int32_t PopMin(std::int32_t root, std::int32_t* min);
+  std::int32_t DeleteAt(std::int32_t root, TupleIndex key);
+  std::int32_t FindMutable(TupleIndex key);
+  void RefreshPath(std::int32_t root, TupleIndex key);
+
+  std::size_t CheckSubtree(std::int32_t n, const TupleIndex* lo,
+                           const TupleIndex* hi) const;
+
+  std::vector<internal_value::FlatNode> nodes_;
+  std::int32_t root_ = kNil;
+  /// Head of the free-slot list, threaded through FlatNode::left.
+  std::int32_t free_head_ = kNil;
   std::size_t node_count_ = 0;
 };
 

@@ -1,0 +1,132 @@
+// Golden equivalence for the steady-state query path (DESIGN.md §10): a
+// full end-to-end run with DriverOptions::legacy_query_path (the seed
+// allocating scan path) must produce a bit-identical QueryRecord stream to
+// the default flat path — same completions, same latencies down to the last
+// double bit, same retries and aborts — for every router, with and without
+// fault injection. Any divergence in candidate ordering, wait arithmetic,
+// RNG consumption, or liveness filtering shows up here.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/faults.h"
+#include "engine/driver.h"
+#include "engine/nashdb_system.h"
+#include "routing/router.h"
+#include "workload/synthetic.h"
+
+namespace nashdb {
+namespace {
+
+Workload GoldenWorkload() {
+  BernoulliOptions wopts;
+  wopts.db_gb = 3.0;
+  wopts.num_queries = 60;
+  wopts.arrival_span_s = 4.0 * 3600.0;
+  return MakeBernoulliWorkload(wopts);
+}
+
+using RouterFactory = std::function<std::unique_ptr<ScanRouter>()>;
+
+RunResult RunOnce(const Workload& workload, const RouterFactory& make_router,
+                  const std::string& fault_spec, bool legacy) {
+  NashDbOptions opts;
+  opts.window_scans = 30;
+  opts.block_tuples = 100000;
+  opts.node_disk = 2000000;
+  NashDbSystem sys(workload.dataset, opts);
+  const std::unique_ptr<ScanRouter> router = make_router();
+  DriverOptions dopts;
+  dopts.reconfigure_interval_s = 1800.0;
+  dopts.legacy_query_path = legacy;
+  if (!fault_spec.empty()) {
+    dopts.faults.spec = *FaultSpec::Parse(fault_spec);
+    dopts.faults.seed = 7;
+  }
+  return RunWorkload(workload, &sys, router.get(), dopts);
+}
+
+void ExpectBitIdentical(const RunResult& flat, const RunResult& legacy) {
+  ASSERT_EQ(flat.records.size(), legacy.records.size());
+  for (std::size_t i = 0; i < flat.records.size(); ++i) {
+    const QueryRecord& f = flat.records[i];
+    const QueryRecord& l = legacy.records[i];
+    EXPECT_EQ(f.id, l.id) << "record " << i;
+    // EXPECT_EQ on doubles is exact comparison — bit-identity is the
+    // contract, not approximate agreement.
+    EXPECT_EQ(f.price, l.price) << "record " << i;
+    EXPECT_EQ(f.arrival, l.arrival) << "record " << i;
+    EXPECT_EQ(f.completion, l.completion) << "record " << i;
+    EXPECT_EQ(f.latency_s, l.latency_s) << "record " << i;
+    EXPECT_EQ(f.span, l.span) << "record " << i;
+    EXPECT_EQ(f.tuples_read, l.tuples_read) << "record " << i;
+    EXPECT_EQ(f.retries, l.retries) << "record " << i;
+    EXPECT_EQ(f.aborted, l.aborted) << "record " << i;
+  }
+  EXPECT_EQ(flat.total_cost, legacy.total_cost);
+  EXPECT_EQ(flat.transferred_tuples, legacy.transferred_tuples);
+  EXPECT_EQ(flat.read_tuples, legacy.read_tuples);
+  EXPECT_EQ(flat.transitions, legacy.transitions);
+  EXPECT_EQ(flat.makespan_s, legacy.makespan_s);
+  EXPECT_EQ(flat.aborted_queries, legacy.aborted_queries);
+  EXPECT_EQ(flat.scan_retries, legacy.scan_retries);
+  EXPECT_EQ(flat.crashes, legacy.crashes);
+  EXPECT_EQ(flat.emergency_repairs, legacy.emergency_repairs);
+}
+
+void RunGoldenCase(const RouterFactory& make_router,
+                   const std::string& fault_spec) {
+  const Workload workload = GoldenWorkload();
+  const RunResult flat = RunOnce(workload, make_router, fault_spec,
+                                 /*legacy=*/false);
+  const RunResult legacy = RunOnce(workload, make_router, fault_spec,
+                                   /*legacy=*/true);
+  ExpectBitIdentical(flat, legacy);
+}
+
+// Crashes with scheduled recoveries plus a stochastic crash/repair process:
+// exercises the liveness overlay (event-driven SyncFrom), the filtered
+// retry path, backoff, and emergency re-replication.
+constexpr char kFaults[] = "crash@1800:n0:for=900;crash@5400:n1;mttf=7200;mttr=1800";
+
+TEST(QueryPathGoldenTest, MaxOfMinsFaultFree) {
+  RunGoldenCase([] { return std::make_unique<MaxOfMinsRouter>(); }, "");
+}
+
+TEST(QueryPathGoldenTest, MaxOfMinsUnderFaults) {
+  RunGoldenCase([] { return std::make_unique<MaxOfMinsRouter>(); }, kFaults);
+}
+
+TEST(QueryPathGoldenTest, ShortestQueueFaultFree) {
+  RunGoldenCase([] { return std::make_unique<ShortestQueueRouter>(); }, "");
+}
+
+TEST(QueryPathGoldenTest, ShortestQueueUnderFaults) {
+  RunGoldenCase([] { return std::make_unique<ShortestQueueRouter>(); },
+                kFaults);
+}
+
+TEST(QueryPathGoldenTest, GreedyScFaultFree) {
+  RunGoldenCase([] { return std::make_unique<GreedyScRouter>(); }, "");
+}
+
+TEST(QueryPathGoldenTest, GreedyScUnderFaults) {
+  RunGoldenCase([] { return std::make_unique<GreedyScRouter>(); }, kFaults);
+}
+
+TEST(QueryPathGoldenTest, PowerOfTwoFaultFree) {
+  // Same seed on both runs: bit-identity includes the RNG draw sequence.
+  RunGoldenCase([] { return std::make_unique<PowerOfTwoRouter>(1234); }, "");
+}
+
+TEST(QueryPathGoldenTest, PowerOfTwoUnderFaults) {
+  RunGoldenCase([] { return std::make_unique<PowerOfTwoRouter>(1234); },
+                kFaults);
+}
+
+}  // namespace
+}  // namespace nashdb

@@ -1,0 +1,200 @@
+// Differential test of the flat arena-backed ValueEstimationTree against
+// ReferenceValueTree (the seed pointer AVL, kept verbatim as the oracle).
+// Over adversarial normalized prices — 13 orders of magnitude apart, plus
+// exact zeros — and randomized interleavings of AddScan / RemoveScan, the
+// two must agree bit-for-bit on RawValueAt and on every emitted chunk, and
+// the flat tree's SizeBytes must honestly report its arena footprint.
+
+#include <cstddef>
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "value/reference_value_tree.h"
+#include "value/value_tree.h"
+
+namespace nashdb {
+namespace {
+
+// Adversarial normalized prices: values below the chunk-suppression epsilon
+// (1e-12), values that cancel catastrophically when mixed with the huge
+// ones, and exact zeros (np >= 0 is the only contract).
+constexpr Money kPrices[] = {0.0,     1e-13, 1e-12, 5e-10, 1e-6,
+                             0.03125, 1.0,   3.5,   1e3,   1e6};
+constexpr std::size_t kPriceCount = sizeof(kPrices) / sizeof(kPrices[0]);
+
+struct WindowScan {
+  TupleIndex start;
+  TupleIndex end;
+  Money np;
+};
+
+WindowScan RandomScan(Rng* rng, TupleIndex key_space) {
+  const TupleIndex start = rng->Uniform(key_space - 1);
+  const TupleIndex end = start + 1 + rng->Uniform(key_space - 1 - start);
+  return WindowScan{start, end, kPrices[rng->Uniform(kPriceCount)]};
+}
+
+using Chunk = std::tuple<TupleIndex, TupleIndex, Money>;
+
+std::vector<Chunk> ChunksOf(const ValueEstimationTree& t) {
+  std::vector<Chunk> chunks;
+  t.ForEachChunk([&](TupleIndex s, TupleIndex e, Money v) {
+    chunks.emplace_back(s, e, v);
+  });
+  return chunks;
+}
+
+std::vector<Chunk> ChunksOf(const ReferenceValueTree& t) {
+  std::vector<Chunk> chunks;
+  t.IterateValues([&](TupleIndex s, TupleIndex e, Money v) {
+    chunks.emplace_back(s, e, v);
+  });
+  return chunks;
+}
+
+void ExpectIdentical(const ValueEstimationTree& flat,
+                     const ReferenceValueTree& ref, TupleIndex key_space) {
+  ASSERT_EQ(flat.node_count(), ref.node_count());
+  EXPECT_EQ(flat.Height(), ref.Height());
+  flat.CheckInvariants();
+  ref.CheckInvariants();
+  // Bit-identical point lookups at every key and between keys. EXPECT_EQ
+  // on doubles is exact equality — deliberate: both implementations
+  // accumulate in the same order, so even the cancellation residue of the
+  // adversarial prices must match.
+  for (TupleIndex x = 0; x <= key_space; ++x) {
+    EXPECT_EQ(flat.RawValueAt(x), ref.RawValueAt(x)) << "at x=" << x;
+  }
+  // Bit-identical Algorithm 1 output (chunk boundaries and raw values).
+  const std::vector<Chunk> fc = ChunksOf(flat);
+  const std::vector<Chunk> rc = ChunksOf(ref);
+  ASSERT_EQ(fc.size(), rc.size());
+  for (std::size_t i = 0; i < fc.size(); ++i) {
+    EXPECT_EQ(std::get<0>(fc[i]), std::get<0>(rc[i]));
+    EXPECT_EQ(std::get<1>(fc[i]), std::get<1>(rc[i]));
+    EXPECT_EQ(std::get<2>(fc[i]), std::get<2>(rc[i]));
+  }
+}
+
+class ValueTreeEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The estimator's access pattern: FIFO window eviction.
+TEST_P(ValueTreeEquivalenceTest, FifoWindowInterleaving) {
+  Rng rng(GetParam());
+  ValueEstimationTree flat;
+  ReferenceValueTree ref;
+  std::deque<WindowScan> window;
+  const std::size_t window_cap = 1 + rng.Uniform(40);
+  const TupleIndex key_space = 64;  // small => frequent key collisions
+  for (int step = 0; step < 300; ++step) {
+    const WindowScan s = RandomScan(&rng, key_space);
+    flat.AddScan(s.start, s.end, s.np);
+    ref.AddScan(s.start, s.end, s.np);
+    window.push_back(s);
+    if (window.size() > window_cap) {
+      const WindowScan& old = window.front();
+      flat.RemoveScan(old.start, old.end, old.np);
+      ref.RemoveScan(old.start, old.end, old.np);
+      window.pop_front();
+    }
+    if (step % 25 == 0) ExpectIdentical(flat, ref, key_space);
+  }
+  ExpectIdentical(flat, ref, key_space);
+  // Drain completely: both must return to empty with zero value everywhere.
+  while (!window.empty()) {
+    const WindowScan& old = window.front();
+    flat.RemoveScan(old.start, old.end, old.np);
+    ref.RemoveScan(old.start, old.end, old.np);
+    window.pop_front();
+  }
+  EXPECT_TRUE(flat.empty());
+  EXPECT_TRUE(ref.empty());
+  ExpectIdentical(flat, ref, key_space);
+}
+
+// RemoveScan in arbitrary (non-FIFO) order — exercises every delete shape:
+// leaf, one-child, and two-child successor replacement.
+TEST_P(ValueTreeEquivalenceTest, RandomOrderRemoval) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  ValueEstimationTree flat;
+  ReferenceValueTree ref;
+  std::vector<WindowScan> live;
+  const TupleIndex key_space = 48;
+  for (int step = 0; step < 300; ++step) {
+    const bool remove = !live.empty() && rng.Uniform(3) == 0;
+    if (remove) {
+      const std::size_t i = rng.Uniform(live.size());
+      const WindowScan s = live[i];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      flat.RemoveScan(s.start, s.end, s.np);
+      ref.RemoveScan(s.start, s.end, s.np);
+    } else {
+      const WindowScan s = RandomScan(&rng, key_space);
+      live.push_back(s);
+      flat.AddScan(s.start, s.end, s.np);
+      ref.AddScan(s.start, s.end, s.np);
+    }
+    if (step % 25 == 0) ExpectIdentical(flat, ref, key_space);
+  }
+  ExpectIdentical(flat, ref, key_space);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueTreeEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ------------------------------------------------------- arena honesty
+
+TEST(FlatTreeArenaTest, SizeBytesReportsArenaFootprint) {
+  ValueEstimationTree tree;
+  EXPECT_EQ(tree.SizeBytes(), 0u);
+  // 100 scans over disjoint keys: 200 live nodes, 200 arena slots.
+  for (TupleIndex i = 0; i < 100; ++i) {
+    tree.AddScan(2 * i, 2 * i + 1, 1.0);
+  }
+  EXPECT_EQ(tree.node_count(), 200u);
+  EXPECT_EQ(tree.arena_slots(), 200u);
+  // SizeBytes covers the whole allocation (capacity), never less than the
+  // occupied slots.
+  EXPECT_GE(tree.SizeBytes(),
+            tree.arena_slots() * sizeof(internal_value::FlatNode));
+  const std::size_t at_peak = tree.SizeBytes();
+
+  // Removing everything empties the tree but keeps the arena: SizeBytes
+  // must keep reporting the held memory, not drop to node_count * size.
+  for (TupleIndex i = 0; i < 100; ++i) {
+    tree.RemoveScan(2 * i, 2 * i + 1, 1.0);
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.SizeBytes(), at_peak);
+  EXPECT_EQ(tree.arena_slots(), 200u);
+  tree.CheckInvariants();
+
+  // Steady state: re-adding recycles free-listed slots instead of growing
+  // the arena — the allocation-free property the scan window relies on.
+  for (TupleIndex i = 0; i < 100; ++i) {
+    tree.AddScan(2 * i, 2 * i + 1, 1.0);
+  }
+  EXPECT_EQ(tree.node_count(), 200u);
+  EXPECT_EQ(tree.arena_slots(), 200u);
+  EXPECT_EQ(tree.SizeBytes(), at_peak);
+  tree.CheckInvariants();
+}
+
+TEST(FlatTreeArenaTest, MovePreservesArenaAndValues) {
+  ValueEstimationTree a;
+  a.AddScan(1, 5, 2.0);
+  a.AddScan(3, 9, 0.25);
+  const Money at4 = a.RawValueAt(4);
+  ValueEstimationTree b(std::move(a));
+  EXPECT_EQ(b.node_count(), 4u);
+  EXPECT_EQ(b.RawValueAt(4), at4);
+  b.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace nashdb

@@ -4,7 +4,7 @@
 # multithreaded reconfiguration pipeline), address (heap errors in the
 # fault-injection / retry paths), and undefined (UB anywhere).
 #
-# Usage: tools/check.sh [--quick | --static]
+# Usage: tools/check.sh [--quick | --static | --bench-smoke]
 #   --quick    in the sanitizer passes, run only the targeted labels
 #              (ctest -L tsan for TSan, -L faults for ASan/UBSan) instead
 #              of the full suite.
@@ -13,6 +13,14 @@
 #              PATH, a full compile under -Wthread-safety
 #              -Werror=thread-safety to check the NASHDB_GUARDED_BY /
 #              NASHDB_REQUIRES annotations.
+#   --bench-smoke
+#              build and run bench_query_path --smoke in the plain
+#              Release tree and validate the BENCH_query_path.json it
+#              writes (CI runs this and uploads the JSON as an
+#              artifact). Smoke iteration counts keep it to seconds; the
+#              numbers are noise-level, the point is that the bench
+#              runs, the route-identity check inside it passes, and the
+#              JSON is well-formed.
 #
 # Unknown flags are an error — a typo like --qick silently running the
 # slow full suite (or worse, skipping it) is exactly the failure mode a
@@ -31,10 +39,12 @@ usage() {
 
 QUICK=0
 STATIC=0
+BENCH_SMOKE=0
 for arg in "$@"; do
   case "${arg}" in
     --quick) QUICK=1 ;;
     --static) STATIC=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
     -h|--help)
       usage
       exit 0
@@ -47,12 +57,47 @@ for arg in "$@"; do
       ;;
   esac
 done
-if [[ "${QUICK}" == "1" && "${STATIC}" == "1" ]]; then
-  echo "check.sh: --quick and --static are mutually exclusive" >&2
+if (( QUICK + STATIC + BENCH_SMOKE > 1 )); then
+  echo "check.sh: --quick, --static and --bench-smoke are mutually" \
+       "exclusive" >&2
   exit 2
 fi
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ "${BENCH_SMOKE}" == "1" ]]; then
+  echo "== query-path bench (smoke) =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "${JOBS}" --target bench_query_path
+  out="BENCH_query_path.json"
+  ./build/bench/bench_query_path --smoke --out="${out}"
+  # Validate the artifact: parseable JSON with the three node_count
+  # configs (python3 when available, key-presence grep otherwise).
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "query_path", doc
+counts = [c["node_count"] for c in doc["configs"]]
+assert counts == [4, 16, 64], counts
+for c in doc["configs"]:
+    for path in ("seed", "flat"):
+        for key in ("scans_per_sec", "p50_ns", "p99_ns"):
+            assert c[path][key] > 0, (path, key, c)
+print("bench artifact OK:", counts)
+EOF
+  else
+    grep -q '"bench": "query_path"' "${out}"
+    for n in 4 16 64; do
+      grep -q "\"node_count\": ${n}" "${out}"
+    done
+    echo "bench artifact OK (grep fallback)"
+  fi
+  echo
+  echo "check.sh: bench smoke green (${out})"
+  exit 0
+fi
 
 if [[ "${STATIC}" == "1" ]]; then
   echo "== clang-tidy =="
