@@ -84,19 +84,6 @@ SimTime ClusterSim::WaitSeconds(NodeId node, SimTime now) const {
   return std::max<SimTime>(0.0, busy_until_[node] - now);
 }
 
-SimTime ClusterSim::EnqueueRead(NodeId node, TupleCount tuples, SimTime now,
-                                bool first_use_by_query) {
-  NASHDB_CHECK_LT(node, busy_until_.size());
-  NASHDB_CHECK(NodeAlive(node, now)) << "read routed to dead node " << node;
-  SimTime start = std::max(busy_until_[node], now);
-  if (first_use_by_query) start += options_.span_overhead_s;
-  const double speed = NodeSpeed(node, now);
-  const SimTime done = start + ReadSeconds(tuples) / speed;
-  busy_until_[node] = done;
-  read_tuples_ += tuples;
-  return done;
-}
-
 void ClusterSim::ChargeTransfer(NodeId node, TupleCount tuples, SimTime now) {
   NASHDB_CHECK_LT(node, busy_until_.size());
   NASHDB_CHECK(NodeAlive(node, now))

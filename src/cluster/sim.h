@@ -1,10 +1,12 @@
 #ifndef NASHDB_CLUSTER_SIM_H_
 #define NASHDB_CLUSTER_SIM_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <limits>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 #include "replication/cluster_config.h"
 #include "transition/planner.h"
@@ -109,9 +111,21 @@ class ClusterSim {
   /// at `now`; if `first_use_by_query`, the span overhead is charged
   /// first. The node must be alive at `now` (CHECK). Service time is
   /// divided by the node's speed factor at enqueue time (a straggling
-  /// node serves slowly). Returns the completion time.
+  /// node serves slowly). Returns the completion time. Defined inline:
+  /// this is the innermost call of the data plane (once per routed read),
+  /// and the batched kernel lives in other translation units.
   SimTime EnqueueRead(NodeId node, TupleCount tuples, SimTime now,
-                      bool first_use_by_query);
+                      bool first_use_by_query) {
+    NASHDB_CHECK_LT(node, busy_until_.size());
+    NASHDB_CHECK(NodeAlive(node, now)) << "read routed to dead node " << node;
+    SimTime start = std::max(busy_until_[node], now);
+    if (first_use_by_query) start += options_.span_overhead_s;
+    const double speed = NodeSpeed(node, now);
+    const SimTime done = start + ReadSeconds(tuples) / speed;
+    busy_until_[node] = done;
+    read_tuples_ += tuples;
+    return done;
+  }
 
   /// Adds `tuples` of transfer ingest to a live node's queue outside a
   /// transition (e.g. re-sending an interrupted transfer) and counts the

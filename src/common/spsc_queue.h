@@ -1,0 +1,131 @@
+#ifndef NASHDB_COMMON_SPSC_QUEUE_H_
+#define NASHDB_COMMON_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nashdb {
+
+/// Bounded lock-free single-producer / single-consumer ring buffer
+/// (DESIGN.md §11). Exactly one thread may call the producer side
+/// (TryPush) and exactly one thread the consumer side (TryPop) at a
+/// time; under that contract every operation is wait-free.
+///
+/// Layout follows the classic Lamport queue with two refinements:
+///  - head and tail live on their own cache lines (alignas(64)) so the
+///    producer's stores never false-share with the consumer's, and
+///  - each side keeps a cached copy of the other side's index and only
+///    reloads it (acquire) when the cached value says the queue looks
+///    full/empty. In the steady state a push or pop touches one shared
+///    atomic, not two.
+///
+/// Indices increase monotonically and are reduced modulo the capacity
+/// (a power of two) on access, so a full queue (head - tail == capacity)
+/// is distinguishable from an empty one (head == tail) without wasting
+/// a slot.
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the queue is full.
+  bool TryPush(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the queue is empty.
+  bool TryPop(T* out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    *out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: pushes up to `max` elements from `in` with a single
+  /// pair of index accesses — the bulk admission the batched data plane
+  /// uses so a block of scans costs one acquire, not one per element.
+  /// Returns how many were pushed (0 when the queue is full).
+  std::size_t TryPushBulk(const T* in, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t free = (mask_ + 1) - (head - cached_tail_);
+    if (free < max) {
+      // The stale tail view cannot satisfy the whole chunk; one refresh
+      // either frees the difference or proves the queue really is short.
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free = (mask_ + 1) - (head - cached_tail_);
+      if (free == 0) return 0;
+    }
+    if (free > max) free = max;
+    for (std::size_t i = 0; i < free; ++i) {
+      slots_[(head + i) & mask_] = in[i];
+    }
+    head_.store(head + free, std::memory_order_release);
+    return free;
+  }
+
+  /// Consumer side: pops up to `max` elements into `out` with a single
+  /// pair of index accesses — the bulk drain the shard loop uses so a
+  /// deep queue costs one acquire, not one per element.
+  std::size_t TryPopBulk(T* out, std::size_t max) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+    }
+    std::size_t avail = cached_head_ - tail;
+    if (avail == 0) return 0;
+    if (avail > max) avail = max;
+    for (std::size_t i = 0; i < avail; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    tail_.store(tail + avail, std::memory_order_release);
+    return avail;
+  }
+
+  /// Approximate occupancy; exact only when called from the consumer
+  /// thread with the producer quiescent (or vice versa).
+  std::size_t SizeApprox() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(64) std::size_t cached_tail_ = 0;       // producer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-owned
+  alignas(64) std::size_t cached_head_ = 0;       // consumer's view of head_
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_COMMON_SPSC_QUEUE_H_

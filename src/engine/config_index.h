@@ -7,6 +7,7 @@
 #include "common/query.h"
 #include "replication/cluster_config.h"
 #include "routing/router.h"
+#include "routing/scan_batch.h"
 
 namespace nashdb {
 
@@ -65,6 +66,16 @@ class ConfigIndex {
   /// pool. Identical requests, in identical order, as RequestsFor.
   void RequestsForInto(const Scan& scan, ScanScratch* scratch) const;
 
+  /// Batched variant (DESIGN.md §11): resolves every scan of `*batch`
+  /// (its SoA scan arrays must be filled) into the batch's prefix-offset
+  /// request table, candidate spans pointing at the index's pool. Scan i
+  /// produces exactly the requests RequestsForInto would, in the same
+  /// order, at requests[req_off[i] .. req_off[i+1]). One pass over the
+  /// block amortizes the per-scan scratch churn of the scalar path, and
+  /// the inner loop streams the SoA arrays with O(1) dense table-span
+  /// lookup instead of the scalar path's per-scan binary search.
+  void ResolveBatchInto(ScanBatch* batch) const;
+
   const ClusterConfig& config() const { return *config_; }
 
  private:
@@ -78,21 +89,46 @@ class ConfigIndex {
     std::uint32_t cand_begin = 0;
     std::uint32_t cand_count = 0;
   };
-  /// Per-table span into `entries_`, sorted by table id.
+  /// Per-table span into `entries_`, sorted by table id. Each span also
+  /// carries a bucket index over its key range: bucket b (of width
+  /// 2^bucket_shift, starting at `base`) stores the index of the first
+  /// entry whose end lies beyond the bucket's start, so the batched
+  /// resolve finds the first overlapping fragment with a shift and a
+  /// load (plus at most a few forward steps when fragments are smaller
+  /// than a bucket) instead of a binary search.
   struct TableSpan {
     TableId table = 0;
     std::uint32_t begin = 0;
     std::uint32_t end = 0;
+    TupleIndex base = 0;            // start of the table's covered range
+    std::uint32_t bucket_begin = 0; // offset into bucket_pool_
+    std::uint32_t bucket_count = 0;
+    std::uint32_t bucket_shift = 0;
   };
 
   /// The table's entry span; CHECK-fails on an unknown table (a scan over
   /// a table the configuration does not cover is a caller bug).
   const TableSpan& SpanFor(TableId table) const;
 
+  /// Shared fragment walk behind RequestsForInto and ResolveBatchInto:
+  /// appends to `*out` one FlatRequest per fragment of `table` overlapping
+  /// [start, end), in range order, spans into `cand_pool_`.
+  void AppendRequests(TableId table, TupleIndex start, TupleIndex end,
+                      std::vector<FlatRequest>* out) const;
+
   const ClusterConfig* config_;
   std::vector<TableSpan> tables_;
   std::vector<Entry> entries_;  // grouped by table, sorted by range start
   std::vector<NodeId> cand_pool_;
+  /// Dense table id -> index into `tables_` (kNoTable for ids the
+  /// configuration does not cover), so the batched resolve loop finds a
+  /// scan's entry span with one load instead of a binary search.
+  static constexpr std::uint32_t kNoTable = 0xffffffffu;
+  std::vector<std::uint32_t> table_slot_;
+  /// Backing storage for every table's bucket index (entry indices into
+  /// `entries_`); bucket counts are capped at ~4x the table's fragment
+  /// count so the pool stays O(total fragments) even for tiny fragments.
+  std::vector<std::uint32_t> bucket_pool_;
 };
 
 }  // namespace nashdb

@@ -14,6 +14,7 @@
 #include "engine/config_index.h"
 #include "engine/liveness_overlay.h"
 #include "engine/validate.h"
+#include "routing/scan_batch.h"
 #include "replication/incremental.h"
 #include "transition/planner.h"
 
@@ -51,6 +52,70 @@ void AnnotateTransition(SimTime sim_time_s, bool applied,
     reg.RecordReconfig(std::move(tr));
   }
 }
+
+/// Per-query routing state accumulated while its scans sit in the
+/// batched path's pending block, finalized into a QueryRecord at flush.
+struct PendingQuery {
+  QueryRecord record;
+  std::set<NodeId> nodes_used;
+  SimTime completion = 0.0;
+};
+
+/// BatchSink of the driver's batched fast path (DESIGN.md §11): commits
+/// each scan's reads into the sim the moment the router reports them —
+/// before the next scan's waits are first read — then advances the
+/// shared WaitView to the next scan's arrival. Together with
+/// RouterScratch's per-scan lazy re-init this makes a block of any size
+/// bit-identical to routing the same scans one at a time (enforced by
+/// the batch golden tests).
+class DriverBatchSink : public BatchSink {
+ public:
+  DriverBatchSink(ClusterSim* sim, bool collect)
+      : sim_(sim), collect_(collect) {}
+
+  void Bind(const ScanBatch* block, const std::vector<std::size_t>* slots,
+            const std::vector<SimTime>* arrivals,
+            std::vector<PendingQuery>* pending, WaitView* view) {
+    block_ = block;
+    slots_ = slots;
+    arrivals_ = arrivals;
+    pending_ = pending;
+    view_ = view;
+  }
+
+  void OnScanRouted(std::size_t scan_index, const RoutedRead* reads,
+                    std::size_t count) override {
+    PendingQuery& pq = (*pending_)[(*slots_)[scan_index]];
+    const SimTime at = (*arrivals_)[scan_index];
+    const FlatRequest* reqs =
+        block_->requests.data() + block_->req_off[scan_index];
+    for (std::size_t k = 0; k < count; ++k) {
+      const RoutedRead& rr = reads[k];
+      const bool first_use = pq.nodes_used.insert(rr.node).second;
+      const TupleCount tuples = reqs[rr.request_index].tuples;
+      if (collect_) {
+        metrics::Count("routing.requests");
+        metrics::Observe("routing.queue_wait_s",
+                         sim_->WaitSeconds(rr.node, at));
+      }
+      const SimTime done = sim_->EnqueueRead(rr.node, tuples, at, first_use);
+      pq.completion = std::max(pq.completion, done);
+      pq.record.tuples_read += tuples;
+    }
+    if (scan_index + 1 < arrivals_->size()) {
+      view_->set_at((*arrivals_)[scan_index + 1]);
+    }
+  }
+
+ private:
+  ClusterSim* sim_;
+  const bool collect_;
+  const ScanBatch* block_ = nullptr;
+  const std::vector<std::size_t>* slots_ = nullptr;
+  const std::vector<SimTime>* arrivals_ = nullptr;
+  std::vector<PendingQuery>* pending_ = nullptr;
+  WaitView* view_ = nullptr;
+};
 
 }  // namespace
 
@@ -301,11 +366,65 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     settle_repairs(at);
   };
 
+  // --- Batched fast path (DESIGN.md §11). Fault-free flat-path runs
+  // gather scans across consecutive queries into a SoA block and route it
+  // with one RouteBatchInto call — one scratch bind, one resolve pass,
+  // one virtual dispatch per block instead of per scan. The block flushes
+  // when full and at every reconfiguration boundary, so it never spans a
+  // configuration change; the sink commits each scan's reads between
+  // scans, keeping the record stream bit-identical to the per-scan path.
+  const bool batched = !options.legacy_query_path && !faults_on &&
+                       options.route_batch_size > 1;
+  ScanBatch block;
+  std::vector<std::size_t> scan_slot;  // block scan -> pending slot
+  std::vector<SimTime> scan_arrival;   // block scan -> arrival time
+  std::vector<PendingQuery> pending;
+  DriverBatchSink sink(&sim, collect);
+
+  // Routes the pending block and finalizes its query records in
+  // admission order. Routing cannot fail here — the batched path only
+  // runs fault-free, where every candidate span is non-empty
+  // (ResolveBatchInto CHECKs replica coverage) — so a failure is a bug,
+  // not a condition to retry.
+  const auto flush_block = [&]() {
+    if (pending.empty()) return;
+    if (!block.empty()) {
+      index.ResolveBatchInto(&block);
+      WaitView waits(sim.BusyUntil().data(), sim.node_count(),
+                     scan_arrival.front());
+      sink.Bind(&block, &scan_slot, &scan_arrival, &pending, &waits);
+      const Status status =
+          router->RouteBatchInto(block, waits, spt, options.phi_s,
+                                 &router_scratch, &routed_buf, &sink);
+      NASHDB_CHECK(status.ok()) << status.message();
+    }
+    for (PendingQuery& pq : pending) {
+      pq.record.completion = pq.completion;
+      pq.record.latency_s = pq.completion - pq.record.arrival;
+      pq.record.span = pq.nodes_used.size();
+      if (collect) {
+        metrics::Count("routing.queries");
+        metrics::Observe("routing.span",
+                         static_cast<double>(pq.record.span));
+        metrics::Observe("routing.latency_s", pq.record.latency_s);
+      }
+      result.makespan_s = std::max(result.makespan_s, pq.completion);
+      result.records.push_back(pq.record);
+    }
+    pending.clear();
+    block.Clear();
+    scan_slot.clear();
+    scan_arrival.clear();
+  };
+
   for (const TimedQuery& tq : workload.queries) {
     const SimTime now = tq.arrival;
 
     // Periodic (or adaptive, §7-extension) reconfiguration + transition.
     while (options.periodic_reconfigure && now >= next_reconfigure) {
+      // Everything admitted before the boundary must be routed against
+      // the outgoing configuration and its pre-transition queue state.
+      if (batched) flush_block();
       // The transition must see the cluster's true liveness at its time.
       deliver_faults(next_reconfigure);
       const auto round_start = std::chrono::steady_clock::now();
@@ -357,6 +476,25 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     maybe_repair(now);
 
     if (!options.warmup_observe) system->Observe(tq.query);
+
+    if (batched) {
+      // Admit into the pending block instead of routing inline; the
+      // block flushes when full (and at every boundary above).
+      PendingQuery pq;
+      pq.record.id = tq.query.id;
+      pq.record.price = tq.query.price;
+      pq.record.arrival = now;
+      pq.completion = now;
+      pending.push_back(std::move(pq));
+      const std::size_t slot = pending.size() - 1;
+      for (const Scan& scan : tq.query.scans) {
+        block.AddScan(tq.query.id, scan);
+        scan_slot.push_back(slot);
+        scan_arrival.push_back(now);
+      }
+      if (block.size() >= options.route_batch_size) flush_block();
+      continue;
+    }
 
     QueryRecord record;
     record.id = tq.query.id;
@@ -492,6 +630,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     result.makespan_s = std::max(result.makespan_s, completion);
     result.records.push_back(record);
   }
+  if (batched) flush_block();
 
   result.total_cost = sim.AccruedCost(result.makespan_s);
   result.transferred_tuples = sim.TotalTransferredTuples();

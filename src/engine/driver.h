@@ -97,6 +97,15 @@ struct DriverOptions {
   /// golden-equivalence test); this switch exists for that test and for
   /// bench_query_path's before/after measurement.
   bool legacy_query_path = false;
+
+  /// Scans per routed block on the batched fast path (DESIGN.md §11).
+  /// Fault-free flat-path runs gather up to this many scans across
+  /// consecutive queries and route them with one RouteBatchInto call
+  /// (flushing at every reconfiguration boundary, so a block never spans
+  /// a configuration change); 1 keeps the per-scan path, as do legacy
+  /// and fault-injected runs. Block size never changes results: both
+  /// paths produce bit-identical QueryRecord streams (golden test).
+  std::size_t route_batch_size = 64;
 };
 
 /// Per-query outcome of a run.

@@ -1,0 +1,282 @@
+#include "engine/sharded_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/spsc_queue.h"
+#include "engine/config_index.h"
+#include "engine/validate.h"
+#include "routing/scan_batch.h"
+#include "transition/planner.h"
+
+namespace nashdb {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Queries a shard pops from its ring per iteration (bulk drain — one
+/// acquire pays for up to this many queries).
+constexpr std::size_t kPopChunk = 32;
+
+/// Per-query routing state accumulated while its scans sit in the
+/// pending block, finalized into a QueryRecord at flush.
+struct PendingQuery {
+  QueryRecord record;
+  std::set<NodeId> nodes_used;
+  SimTime completion = 0.0;
+};
+
+/// BatchSink of the shard loop: commits each scan's reads into the
+/// shard's sim the moment the router reports them, so the next scan of
+/// the block observes the updated busy-until state exactly as a per-scan
+/// run would (bit-identity with the serial driver), then advances the
+/// shared WaitView to the next scan's arrival.
+class ShardBatchSink : public BatchSink {
+ public:
+  explicit ShardBatchSink(ClusterSim* sim) : sim_(sim) {}
+
+  void Bind(const ScanBatch* block, const std::vector<std::size_t>* slots,
+            const std::vector<SimTime>* arrivals,
+            std::vector<PendingQuery>* pending, WaitView* view) {
+    block_ = block;
+    slots_ = slots;
+    arrivals_ = arrivals;
+    pending_ = pending;
+    view_ = view;
+  }
+
+  void OnScanRouted(std::size_t scan_index, const RoutedRead* reads,
+                    std::size_t count) override {
+    PendingQuery& pq = (*pending_)[(*slots_)[scan_index]];
+    const SimTime at = (*arrivals_)[scan_index];
+    const FlatRequest* reqs =
+        block_->requests.data() + block_->req_off[scan_index];
+    for (std::size_t k = 0; k < count; ++k) {
+      const RoutedRead& rr = reads[k];
+      const bool first_use = pq.nodes_used.insert(rr.node).second;
+      const TupleCount tuples = reqs[rr.request_index].tuples;
+      const SimTime done = sim_->EnqueueRead(rr.node, tuples, at, first_use);
+      pq.completion = std::max(pq.completion, done);
+      pq.record.tuples_read += tuples;
+    }
+    if (scan_index + 1 < arrivals_->size()) {
+      view_->set_at((*arrivals_)[scan_index + 1]);
+    }
+  }
+
+ private:
+  ClusterSim* sim_;
+  const ScanBatch* block_ = nullptr;
+  const std::vector<std::size_t>* slots_ = nullptr;
+  const std::vector<SimTime>* arrivals_ = nullptr;
+  std::vector<PendingQuery>* pending_ = nullptr;
+  WaitView* view_ = nullptr;
+};
+
+/// Everything one shard thread needs, built on the calling thread before
+/// the shard starts. config/index/bootstrap are shared read-only across
+/// all shards (immutable for the run); queue and done are the only
+/// cross-thread channels; the rest is shard-private.
+struct ShardTask {
+  std::size_t shard_index = 0;
+  const ClusterConfig* config = nullptr;
+  const ConfigIndex* index = nullptr;
+  const TransitionPlan* bootstrap = nullptr;
+  ClusterSimOptions sim_options;
+  double phi_s = 0.35;
+  std::size_t batch_size = 64;
+  SpscQueue<const TimedQuery*>* queue = nullptr;
+  const std::atomic<bool>* done = nullptr;
+  std::unique_ptr<ScanRouter> router;
+  ShardResult result;
+};
+
+void ShardMain(ShardTask* t) {
+  ClusterSim sim(t->sim_options);
+  sim.ApplyConfig(*t->config, 0.0, t->bootstrap);
+
+  RouterScratch scratch;
+  std::vector<RoutedRead> routed;
+  ScanBatch block;
+  std::vector<std::size_t> scan_slot;   // block scan -> pending slot
+  std::vector<SimTime> scan_arrival;    // block scan -> arrival time
+  std::vector<PendingQuery> pending;
+  ShardBatchSink sink(&sim);
+  const double spt = 1.0 / t->sim_options.tuples_per_second;
+  const std::size_t batch_cap = std::max<std::size_t>(1, t->batch_size);
+
+  // Routes the pending block and finalizes its query records, in feed
+  // order. Fault-free single-epoch regime: every candidate span is
+  // non-empty (ResolveBatchInto CHECKs replica coverage), so routing
+  // cannot fail.
+  const auto flush = [&]() {
+    if (pending.empty()) return;
+    if (!block.empty()) {
+      t->index->ResolveBatchInto(&block);
+      WaitView waits(sim.BusyUntil().data(), sim.node_count(),
+                     scan_arrival.front());
+      sink.Bind(&block, &scan_slot, &scan_arrival, &pending, &waits);
+      const Status status = t->router->RouteBatchInto(
+          block, waits, spt, t->phi_s, &scratch, &routed, &sink);
+      NASHDB_CHECK(status.ok()) << "shard " << t->shard_index << ": "
+                                << status.message();
+    }
+    for (PendingQuery& pq : pending) {
+      pq.record.completion = pq.completion;
+      pq.record.latency_s = pq.completion - pq.record.arrival;
+      pq.record.span = pq.nodes_used.size();
+      t->result.makespan_s = std::max(t->result.makespan_s, pq.completion);
+      t->result.records.push_back(pq.record);
+    }
+    pending.clear();
+    block.Clear();
+    scan_slot.clear();
+    scan_arrival.clear();
+  };
+
+  const auto admit = [&](const TimedQuery& tq) {
+    PendingQuery pq;
+    pq.record.id = tq.query.id;
+    pq.record.price = tq.query.price;
+    pq.record.arrival = tq.arrival;
+    pq.completion = tq.arrival;
+    pending.push_back(std::move(pq));
+    const std::size_t slot = pending.size() - 1;
+    for (const Scan& scan : tq.query.scans) {
+      block.AddScan(tq.query.id, scan);
+      scan_slot.push_back(slot);
+      scan_arrival.push_back(tq.arrival);
+    }
+    if (block.size() >= batch_cap) flush();
+  };
+
+  const TimedQuery* popped[kPopChunk];
+  for (;;) {
+    std::size_t n = t->queue->TryPopBulk(popped, kPopChunk);
+    if (n == 0) {
+      if (t->done->load(std::memory_order_acquire)) {
+        // The done flag is set only after the last push; its acquire
+        // makes every push visible, so one more drain empties the ring.
+        n = t->queue->TryPopBulk(popped, kPopChunk);
+        if (n == 0) break;
+      } else {
+        std::this_thread::yield();
+        continue;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) admit(*popped[i]);
+  }
+  flush();
+  t->result.read_tuples = sim.TotalReadTuples();
+}
+
+}  // namespace
+
+std::size_t ShardOfTable(TableId table, std::size_t shards) {
+  if (shards <= 1) return 0;
+  return static_cast<std::size_t>(
+      SplitMix64(static_cast<std::uint64_t>(table)) % shards);
+}
+
+std::size_t ShardOfQuery(const Query& query, std::size_t shards) {
+  if (query.scans.empty()) return 0;
+  return ShardOfTable(query.scans.front().table, shards);
+}
+
+ShardedRunResult RunSharded(const Workload& workload,
+                            const ClusterConfig& config,
+                            const RouterFactory& router_factory,
+                            const ShardedDriverOptions& options) {
+  NASHDB_CHECK(router_factory != nullptr);
+  const std::size_t shards = std::max<std::size_t>(1, options.shards);
+
+  // One configuration epoch, built before any shard starts: every shard
+  // sim is bootstrapped with the identical plan at t = 0, so all shards
+  // agree on node count, initial transfer backlog, and rent.
+  ClusterConfig empty;
+  const TransitionPlan bootstrap = PlanTransition(empty, config);
+  NASHDB_VALIDATE_OR_DIE(ValidateConfig(config));
+  NASHDB_VALIDATE_OR_DIE(ValidatePlan(bootstrap, empty, config));
+  const ConfigIndex index(config);
+
+  std::vector<std::unique_ptr<SpscQueue<const TimedQuery*>>> queues;
+  std::vector<ShardTask> tasks(shards);
+  std::atomic<bool> done{false};
+  queues.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    queues.push_back(std::make_unique<SpscQueue<const TimedQuery*>>(
+        std::max<std::size_t>(2, options.queue_capacity)));
+    ShardTask& t = tasks[s];
+    t.shard_index = s;
+    t.config = &config;
+    t.index = &index;
+    t.bootstrap = &bootstrap;
+    t.sim_options = options.sim;
+    t.phi_s = options.phi_s;
+    t.batch_size = options.batch_size;
+    t.queue = queues[s].get();
+    t.done = &done;
+    t.router = router_factory();
+    NASHDB_CHECK(t.router != nullptr);
+    t.result.shard = s;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    threads.emplace_back(ShardMain, &tasks[s]);
+  }
+
+  // Producer: feed queries in workload (arrival) order; each shard then
+  // sees exactly the workload-order subsequence the partitioner assigns
+  // it, independent of thread timing.
+  for (const TimedQuery& tq : workload.queries) {
+    SpscQueue<const TimedQuery*>* q =
+        queues[ShardOfQuery(tq.query, shards)].get();
+    while (!q->TryPush(&tq)) std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+
+  ShardedRunResult out;
+  out.shards.reserve(shards);
+  for (ShardTask& t : tasks) out.shards.push_back(std::move(t.result));
+
+  // Merge under the single-epoch billing invariant: the record stream is
+  // re-interleaved into workload order (each shard's stream preserves
+  // it, so a cursor walk suffices); rent and the bootstrap copy are
+  // per-cluster quantities every shard charged identically — counted
+  // once, via a billing sim replaying the shared bootstrap — while read
+  // volume is summed across shards.
+  RunResult& merged = out.merged;
+  std::vector<std::size_t> cursor(shards, 0);
+  merged.records.reserve(workload.queries.size());
+  for (const TimedQuery& tq : workload.queries) {
+    const std::size_t s = ShardOfQuery(tq.query, shards);
+    NASHDB_CHECK(cursor[s] < out.shards[s].records.size());
+    merged.records.push_back(out.shards[s].records[cursor[s]++]);
+  }
+  for (const ShardResult& sr : out.shards) {
+    merged.read_tuples += sr.read_tuples;
+    merged.makespan_s = std::max(merged.makespan_s, sr.makespan_s);
+  }
+  ClusterSim billing(options.sim);
+  billing.ApplyConfig(config, 0.0, &bootstrap);
+  merged.total_cost = billing.AccruedCost(merged.makespan_s);
+  merged.transferred_tuples = billing.TotalTransferredTuples();
+  merged.bootstrap_transfer_tuples = merged.transferred_tuples;
+  merged.transitions = 1;
+  merged.final_nodes = config.node_count();
+  return out;
+}
+
+}  // namespace nashdb

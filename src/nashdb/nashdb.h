@@ -31,6 +31,7 @@
 #include "engine/config_index.h"
 #include "engine/driver.h"
 #include "engine/nashdb_system.h"
+#include "engine/sharded_driver.h"
 #include "engine/system.h"
 #include "fragment/fragmenter.h"
 #include "fragment/prefix_stats.h"

@@ -7,8 +7,65 @@
 #include <string>
 
 #include "common/logging.h"
+#include "routing/scan_batch.h"
 
 namespace nashdb {
+
+namespace {
+
+// The shared no-live-replica failure, so every validation site — the
+// standalone passes and the fused check inside the MaxOfMins batch core —
+// produces the identical status.
+Status NoLiveReplica(FlatFragmentId frag) {
+  return Status::FailedPrecondition("fragment " + std::to_string(frag) +
+                                    " has no live replica-holding node");
+}
+
+// Largest scan the MaxOfMins batch core handles with stack-local state
+// (a wider scan falls back to the scratch-based rounds below).
+constexpr std::size_t kSmallScanRequests = 16;
+
+// Shared batch loop (DESIGN.md §11): one scratch bind per block, then the
+// router's per-scan core. A core that reads the scratch must open every
+// scan with scratch->NextScan() (the stack-local MaxOfMins fast paths
+// skip the bump entirely). `core(reqs, out)` must append exactly
+// reqs.count reads with
+// scan-relative request indices — the same decisions RouteInto makes, so
+// batch results are identical by construction (the batch equivalence
+// suite enforces it). Partial-commit contract on failure: scans before
+// the failing one are routed and reported; the failing scan's partial
+// output (a core may fail mid-append) is rolled back, so it leaves no
+// trace.
+template <typename Core>
+Status RouteBatchImpl(const ScanBatch& batch, const WaitView& waits,
+                      RouterScratch* scratch, std::vector<RoutedRead>* out,
+                      BatchSink* sink, Core&& core) {
+  out->clear();
+  out->reserve(batch.requests.size());  // one read per request on success
+  scratch->BeginBatch(waits);
+  for (std::size_t s = 0; s < batch.size(); ++s) {
+    const RequestBatch reqs = batch.ScanRequests(s);
+    if (reqs.count == 0) {
+      // A scan overlapping no fragment routes nothing (the per-scan driver
+      // path skips it the same way); the sink still hears about it so
+      // commit counting stays one-call-per-scan.
+      if (sink != nullptr) sink->OnScanRouted(s, nullptr, 0);
+      continue;
+    }
+    const std::size_t base = out->size();
+    const Status st = core(reqs, out);
+    if (!st.ok()) {
+      out->resize(base);
+      return st;
+    }
+    if (sink != nullptr) {
+      sink->OnScanRouted(s, out->data() + base, out->size() - base);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 std::size_t SpanOf(const std::vector<RoutedRead>& reads) {
   std::set<NodeId> nodes;
@@ -84,14 +141,13 @@ Result<std::vector<RoutedRead>> MaxOfMinsRouter::Route(
   return out;
 }
 
-Status MaxOfMinsRouter::RouteInto(const RequestBatch& requests,
-                                  const WaitView& waits,
-                                  double read_seconds_per_tuple, double phi_s,
-                                  RouterScratch* scratch,
-                                  std::vector<RoutedRead>* out) {
-  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
-  out->clear();
-  scratch->BeginScan(waits);
+namespace {
+
+// One scan's Max-of-mins rounds, appending to *out (scan-relative request
+// indices). Shared verbatim by RouteInto and RouteBatchInto.
+void MaxOfMinsCore(const RequestBatch& requests, double read_seconds_per_tuple,
+                   double phi_s, RouterScratch* scratch,
+                   std::vector<RoutedRead>* out) {
   scratch->scheduled.assign(requests.count, 0);
 
   for (std::size_t round = 0; round < requests.count; ++round) {
@@ -127,7 +183,273 @@ Status MaxOfMinsRouter::RouteInto(const RequestBatch& requests,
                          read_seconds_per_tuple);
     out->push_back(RoutedRead{best_req, best_node});
   }
+}
+
+// Batched Max-of-mins core: the same decisions as MaxOfMinsCore — node
+// for node, tie for tie, float op for float op — with the block-dominant
+// shapes specialized (DESIGN.md §11):
+//
+// - A single-request scan needs no rounds and no scratch state at all.
+//   At scan start every node is outside the span (used == false), so the
+//   adjusted wait is exactly `view wait + phi` — the identical addition
+//   the generic round computes through the scratch's lazy init — and the
+//   scan reduces to one strict-min sweep over the candidate span (first
+//   minimum wins, as in the generic loop's `<` compare).
+// - Validation is fused into the scheduling rounds instead of a separate
+//   pass: an empty candidate span leaves that request's minimum at +inf,
+//   which wins the max-of-mins in round one before anything has been
+//   scheduled, so the failure surfaces with zero reads appended and the
+//   partial-commit contract intact.
+// - Candidate evaluation touches the epoch-stamped node state once per
+//   candidate (AdjustedWait) instead of twice (Wait + Used).
+//
+// RouteInto keeps the plain MaxOfMinsCore: the per-scan path is the
+// reference oracle the equivalence suites compare against, exactly as
+// the seed Route() is the oracle for RouteInto.
+Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
+                          double read_seconds_per_tuple, double phi_s,
+                          RouterScratch* scratch,
+                          std::vector<RoutedRead>* out) {
+  if (requests.count == 1) {
+    const FlatRequest& req = requests.requests[0];
+    if (req.cand_count == 0) return NoLiveReplica(req.frag);
+    const NodeId* cand = requests.cands(req);
+    double min_wait = std::numeric_limits<double>::infinity();
+    NodeId min_node = kInvalidNode;
+    for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+      const NodeId m = cand[k];
+      const double w = waits.At(m) + phi_s;
+      if (w < min_wait) {
+        min_wait = w;
+        min_node = m;
+      }
+    }
+    out->push_back(RoutedRead{0, min_node});
+    return Status::OK();
+  }
+
+  if (requests.count == 2) {
+    // Two requests, two rounds, no scratch: round one evaluates both
+    // against untouched state (adjusted wait == view wait + phi), picks
+    // the larger minimum (ties keep the first request, as the generic
+    // loop's strict `>` does); round two re-evaluates the loser with the
+    // winner's node advanced by its read — the only node whose state
+    // round one changed. An empty candidate span yields an infinite
+    // minimum, wins round one, and errors before any read is appended.
+    const FlatRequest& ra = requests.requests[0];
+    const FlatRequest& rb = requests.requests[1];
+    double min_a = std::numeric_limits<double>::infinity();
+    double min_b = std::numeric_limits<double>::infinity();
+    NodeId node_a = kInvalidNode;
+    NodeId node_b = kInvalidNode;
+    const NodeId* ca = requests.cands(ra);
+    for (std::uint32_t k = 0; k < ra.cand_count; ++k) {
+      const double w = waits.At(ca[k]) + phi_s;
+      if (w < min_a) {
+        min_a = w;
+        node_a = ca[k];
+      }
+    }
+    const NodeId* cb = requests.cands(rb);
+    for (std::uint32_t k = 0; k < rb.cand_count; ++k) {
+      const double w = waits.At(cb[k]) + phi_s;
+      if (w < min_b) {
+        min_b = w;
+        node_b = cb[k];
+      }
+    }
+    const bool b_first = min_b > min_a;
+    const std::size_t i1 = b_first ? 1 : 0;
+    const FlatRequest& r1 = requests.requests[i1];
+    const NodeId n1 = b_first ? node_b : node_a;
+    if (n1 == kInvalidNode) return NoLiveReplica(r1.frag);
+    out->push_back(RoutedRead{i1, n1});
+    // The winner's node after its read: the same lazy-init + `+=` float
+    // sequence the scratch performs, so round two is bit-identical.
+    const double advanced =
+        waits.At(n1) +
+        static_cast<double>(r1.tuples) * read_seconds_per_tuple;
+    const std::size_t i2 = b_first ? 0 : 1;
+    const FlatRequest& r2 = requests.requests[i2];
+    const NodeId* c2 = requests.cands(r2);
+    double min2 = std::numeric_limits<double>::infinity();
+    NodeId n2 = kInvalidNode;
+    for (std::uint32_t k = 0; k < r2.cand_count; ++k) {
+      const NodeId m = c2[k];
+      // Candidate lists are duplicate-free, so at most one candidate is
+      // n1; `advanced + 0.0 == advanced` for the non-negative waits the
+      // sim produces, matching the generic `wait + 0.0` of a used node.
+      const double w = m == n1 ? advanced : waits.At(m) + phi_s;
+      if (w < min2) {
+        min2 = w;
+        n2 = m;
+      }
+    }
+    NASHDB_DCHECK(n2 != kInvalidNode);  // an empty r2 loses round one
+    out->push_back(RoutedRead{i2, n2});
+    return Status::OK();
+  }
+
+  if (requests.count <= kSmallScanRequests) {
+    // Mid-size scans (3..16 requests): the full max-of-mins rounds with
+    // every piece of mutable state on the stack instead of in the
+    // epoch-stamped scratch. Two observations keep this bit-identical to
+    // the scratch-based loop below:
+    //
+    //  - The only nodes whose adjusted wait differs from `view + phi`
+    //    are the ones this scan has already scheduled — at most one new
+    //    node per round — so a tiny array of (node, advanced wait)
+    //    searched linearly replaces the per-candidate epoch-checked
+    //    Touch. An advanced entry carries the same lazy-init + `+=`
+    //    accumulated sum the scratch would hold, and reading it directly
+    //    matches the generic `wait + 0.0` of a used node bitwise for the
+    //    non-negative waits the sim produces.
+    //  - A request's (min, argmin) can only change when the node just
+    //    scheduled sits in its candidate span (only that node's wait or
+    //    used flag moved), so each round recomputes exactly the affected
+    //    requests and reuses the cached minima — bit for bit the values
+    //    a full recompute would produce — for the rest.
+    const std::size_t n = requests.count;
+    double req_min[kSmallScanRequests];
+    NodeId req_node[kSmallScanRequests];
+    NodeId adv_node[kSmallScanRequests];
+    double adv_wait[kSmallScanRequests];
+    std::size_t adv_n = 0;
+    const auto eval = [&](const FlatRequest& req, double* min_wait,
+                          NodeId* min_node) {
+      double mw = std::numeric_limits<double>::infinity();
+      NodeId mn = kInvalidNode;
+      const NodeId* cand = requests.cands(req);
+      for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+        const NodeId m = cand[k];
+        std::size_t j = 0;
+        while (j < adv_n && adv_node[j] != m) ++j;
+        const double w = j < adv_n ? adv_wait[j] : waits.At(m) + phi_s;
+        if (w < mw) {
+          mw = w;
+          mn = m;
+        }
+      }
+      *min_wait = mw;
+      *min_node = mn;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      eval(requests.requests[i], &req_min[i], &req_node[i]);
+    }
+    std::uint32_t pending = (std::uint32_t{1} << n) - 1;
+    for (std::size_t round = 0; round < n; ++round) {
+      double best_min = -1.0;
+      std::size_t best_req = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!(pending >> i & 1u)) continue;
+        if (req_min[i] > best_min) {
+          best_min = req_min[i];
+          best_req = i;
+        }
+      }
+      const NodeId bn = req_node[best_req];
+      if (bn == kInvalidNode) {
+        // An empty candidate span's infinite minimum wins round one, so
+        // this fires before any read of the scan was appended.
+        return NoLiveReplica(requests.requests[best_req].frag);
+      }
+      pending &= ~(std::uint32_t{1} << best_req);
+      const double delta =
+          static_cast<double>(requests.requests[best_req].tuples) *
+          read_seconds_per_tuple;
+      std::size_t j = 0;
+      while (j < adv_n && adv_node[j] != bn) ++j;
+      if (j == adv_n) {
+        adv_node[j] = bn;
+        adv_wait[j] = waits.At(bn) + delta;
+        ++adv_n;
+      } else {
+        adv_wait[j] += delta;
+      }
+      out->push_back(RoutedRead{best_req, bn});
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!(pending >> i & 1u)) continue;
+        const FlatRequest& req = requests.requests[i];
+        const NodeId* cand = requests.cands(req);
+        for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+          if (cand[k] == bn) {
+            eval(req, &req_min[i], &req_node[i]);
+            break;
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  scratch->NextScan();
+  scratch->scheduled.assign(requests.count, 0);
+  for (std::size_t round = 0; round < requests.count; ++round) {
+    double best_min = -1.0;
+    std::size_t best_req = requests.count;
+    NodeId best_node = kInvalidNode;
+    for (std::size_t i = 0; i < requests.count; ++i) {
+      if (scratch->scheduled[i]) continue;
+      const FlatRequest& req = requests.requests[i];
+      const NodeId* cand = requests.cands(req);
+      double min_wait = std::numeric_limits<double>::infinity();
+      NodeId min_node = kInvalidNode;
+      for (std::uint32_t k = 0; k < req.cand_count; ++k) {
+        const NodeId m = cand[k];
+        const double w = scratch->AdjustedWait(m, phi_s);
+        if (w < min_wait) {
+          min_wait = w;
+          min_node = m;
+        }
+      }
+      if (min_wait > best_min) {
+        best_min = min_wait;
+        best_req = i;
+        best_node = min_node;
+      }
+    }
+    if (best_node == kInvalidNode) {
+      // Only an empty candidate span produces an infinite minimum, and an
+      // infinite minimum wins round one — so this fires before any read
+      // of the scan was appended.
+      return NoLiveReplica(requests.requests[best_req].frag);
+    }
+    scratch->scheduled[best_req] = 1;
+    scratch->MarkUsed(best_node);
+    scratch->AddWait(best_node,
+                     static_cast<double>(requests.requests[best_req].tuples) *
+                         read_seconds_per_tuple);
+    out->push_back(RoutedRead{best_req, best_node});
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+Status MaxOfMinsRouter::RouteInto(const RequestBatch& requests,
+                                  const WaitView& waits,
+                                  double read_seconds_per_tuple, double phi_s,
+                                  RouterScratch* scratch,
+                                  std::vector<RoutedRead>* out) {
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
+  out->clear();
+  scratch->BeginScan(waits);
+  MaxOfMinsCore(requests, read_seconds_per_tuple, phi_s, scratch, out);
+  return Status::OK();
+}
+
+Status MaxOfMinsRouter::RouteBatchInto(const ScanBatch& batch,
+                                       const WaitView& waits,
+                                       double read_seconds_per_tuple,
+                                       double phi_s, RouterScratch* scratch,
+                                       std::vector<RoutedRead>* out,
+                                       BatchSink* sink) {
+  return RouteBatchImpl(
+      batch, waits, scratch, out, sink,
+      [&](const RequestBatch& reqs, std::vector<RoutedRead>* o) {
+        return MaxOfMinsBatchCore(reqs, waits, read_seconds_per_tuple, phi_s,
+                                  scratch, o);
+      });
 }
 
 // -------------------------------------------------------- ShortestQueue
@@ -151,15 +473,11 @@ Result<std::vector<RoutedRead>> ShortestQueueRouter::Route(
   return out;
 }
 
-Status ShortestQueueRouter::RouteInto(const RequestBatch& requests,
-                                      const WaitView& waits,
-                                      double read_seconds_per_tuple,
-                                      double phi_s, RouterScratch* scratch,
-                                      std::vector<RoutedRead>* out) {
-  (void)phi_s;
-  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
-  out->clear();
-  scratch->BeginScan(waits);
+namespace {
+
+void ShortestQueueCore(const RequestBatch& requests,
+                       double read_seconds_per_tuple, RouterScratch* scratch,
+                       std::vector<RoutedRead>* out) {
   for (std::size_t i = 0; i < requests.count; ++i) {
     const FlatRequest& req = requests.requests[i];
     const NodeId* cand = requests.cands(req);
@@ -171,7 +489,39 @@ Status ShortestQueueRouter::RouteInto(const RequestBatch& requests,
                                read_seconds_per_tuple);
     out->push_back(RoutedRead{i, best});
   }
+}
+
+}  // namespace
+
+Status ShortestQueueRouter::RouteInto(const RequestBatch& requests,
+                                      const WaitView& waits,
+                                      double read_seconds_per_tuple,
+                                      double phi_s, RouterScratch* scratch,
+                                      std::vector<RoutedRead>* out) {
+  (void)phi_s;
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
+  out->clear();
+  scratch->BeginScan(waits);
+  ShortestQueueCore(requests, read_seconds_per_tuple, scratch, out);
   return Status::OK();
+}
+
+Status ShortestQueueRouter::RouteBatchInto(const ScanBatch& batch,
+                                           const WaitView& waits,
+                                           double read_seconds_per_tuple,
+                                           double phi_s,
+                                           RouterScratch* scratch,
+                                           std::vector<RoutedRead>* out,
+                                           BatchSink* sink) {
+  (void)phi_s;
+  return RouteBatchImpl(
+      batch, waits, scratch, out, sink,
+      [&](const RequestBatch& reqs, std::vector<RoutedRead>* o) {
+        scratch->NextScan();
+        NASHDB_RETURN_IF_ERROR(ValidateRoutable(reqs));
+        ShortestQueueCore(reqs, read_seconds_per_tuple, scratch, o);
+        return Status::OK();
+      });
 }
 
 // ------------------------------------------------------------ Greedy SC
@@ -227,16 +577,10 @@ Result<std::vector<RoutedRead>> GreedyScRouter::Route(
   return out;
 }
 
-Status GreedyScRouter::RouteInto(const RequestBatch& requests,
-                                 const WaitView& waits,
-                                 double read_seconds_per_tuple, double phi_s,
-                                 RouterScratch* scratch,
-                                 std::vector<RoutedRead>* out) {
-  (void)read_seconds_per_tuple;
-  (void)phi_s;
-  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
-  out->clear();
-  scratch->BeginScan(waits);
+namespace {
+
+void GreedyScCore(const RequestBatch& requests, RouterScratch* scratch,
+                  std::vector<RoutedRead>* out) {
   scratch->scheduled.assign(requests.count, 0);
 
   // Build the node→requests postings lists for this call: one dense local
@@ -324,7 +668,40 @@ Status GreedyScRouter::RouteInto(const RequestBatch& requests,
       out->push_back(RoutedRead{j, best_node});
     }
   }
+}
+
+}  // namespace
+
+Status GreedyScRouter::RouteInto(const RequestBatch& requests,
+                                 const WaitView& waits,
+                                 double read_seconds_per_tuple, double phi_s,
+                                 RouterScratch* scratch,
+                                 std::vector<RoutedRead>* out) {
+  (void)read_seconds_per_tuple;
+  (void)phi_s;
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
+  out->clear();
+  scratch->BeginScan(waits);
+  GreedyScCore(requests, scratch, out);
   return Status::OK();
+}
+
+Status GreedyScRouter::RouteBatchInto(const ScanBatch& batch,
+                                      const WaitView& waits,
+                                      double read_seconds_per_tuple,
+                                      double phi_s, RouterScratch* scratch,
+                                      std::vector<RoutedRead>* out,
+                                      BatchSink* sink) {
+  (void)read_seconds_per_tuple;
+  (void)phi_s;
+  return RouteBatchImpl(batch, waits, scratch, out, sink,
+                        [&](const RequestBatch& reqs,
+                            std::vector<RoutedRead>* o) {
+                          scratch->NextScan();
+                          NASHDB_RETURN_IF_ERROR(ValidateRoutable(reqs));
+                          GreedyScCore(reqs, scratch, o);
+                          return Status::OK();
+                        });
 }
 
 // ----------------------------------------------------------- PowerOfTwo
@@ -372,14 +749,14 @@ Result<std::vector<RoutedRead>> PowerOfTwoRouter::Route(
   return out;
 }
 
-Status PowerOfTwoRouter::RouteInto(const RequestBatch& requests,
-                                   const WaitView& waits,
-                                   double read_seconds_per_tuple, double phi_s,
-                                   RouterScratch* scratch,
-                                   std::vector<RoutedRead>* out) {
-  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
-  out->clear();
-  scratch->BeginScan(waits);
+namespace {
+
+// One scan's two-choice pass. Consumes RNG draws exactly as the reference
+// Route does (<= 2 candidates: none; > 2: two), per batch element.
+void PowerOfTwoCore(const RequestBatch& requests,
+                    double read_seconds_per_tuple, double phi_s,
+                    RouterScratch* scratch, Rng* rng,
+                    std::vector<RoutedRead>* out) {
   for (std::size_t i = 0; i < requests.count; ++i) {
     const FlatRequest& req = requests.requests[i];
     const NodeId* cand = requests.cands(req);
@@ -396,9 +773,9 @@ Status PowerOfTwoRouter::RouteInto(const RequestBatch& requests,
       }
     } else {
       const std::size_t a =
-          static_cast<std::size_t>(rng_.Uniform(req.cand_count));
+          static_cast<std::size_t>(rng->Uniform(req.cand_count));
       std::size_t b =
-          static_cast<std::size_t>(rng_.Uniform(req.cand_count - 1));
+          static_cast<std::size_t>(rng->Uniform(req.cand_count - 1));
       if (b >= a) ++b;
       const NodeId ma = cand[a];
       const NodeId mb = cand[b];
@@ -413,7 +790,36 @@ Status PowerOfTwoRouter::RouteInto(const RequestBatch& requests,
                                read_seconds_per_tuple);
     out->push_back(RoutedRead{i, pick});
   }
+}
+
+}  // namespace
+
+Status PowerOfTwoRouter::RouteInto(const RequestBatch& requests,
+                                   const WaitView& waits,
+                                   double read_seconds_per_tuple, double phi_s,
+                                   RouterScratch* scratch,
+                                   std::vector<RoutedRead>* out) {
+  NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
+  out->clear();
+  scratch->BeginScan(waits);
+  PowerOfTwoCore(requests, read_seconds_per_tuple, phi_s, scratch, &rng_, out);
   return Status::OK();
+}
+
+Status PowerOfTwoRouter::RouteBatchInto(const ScanBatch& batch,
+                                        const WaitView& waits,
+                                        double read_seconds_per_tuple,
+                                        double phi_s, RouterScratch* scratch,
+                                        std::vector<RoutedRead>* out,
+                                        BatchSink* sink) {
+  return RouteBatchImpl(
+      batch, waits, scratch, out, sink,
+      [&](const RequestBatch& reqs, std::vector<RoutedRead>* o) {
+        scratch->NextScan();
+        NASHDB_RETURN_IF_ERROR(ValidateRoutable(reqs));
+        PowerOfTwoCore(reqs, read_seconds_per_tuple, phi_s, scratch, &rng_, o);
+        return Status::OK();
+      });
 }
 
 }  // namespace nashdb

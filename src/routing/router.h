@@ -76,6 +76,12 @@ class WaitView {
   }
   std::size_t node_count() const { return node_count_; }
 
+  /// Moves the scheduling time (batched routing: a BatchSink advances the
+  /// view to the next scan's arrival between scans; RouterScratch's lazy
+  /// first-touch init re-reads the view each scan, so the new time is
+  /// observed exactly as if a fresh view had been built per scan).
+  void set_at(SimTime at) { at_ = at; }
+
  private:
   const SimTime* busy_until_;
   std::size_t node_count_;
@@ -92,12 +98,27 @@ class WaitView {
 /// public only because the four router implementations share them.
 class RouterScratch {
  public:
-  /// Starts a new routing call against `waits`. O(1) once the node-state
-  /// array has grown to the cluster size.
-  void BeginScan(const WaitView& waits) {
+  /// Binds the scratch to `waits` for a batch of scans: the view pointer
+  /// is stored and the node-state array grown once, so the per-scan cost
+  /// inside the batch is a single epoch bump (NextScan). The WaitView may
+  /// be backed by live state (the sim's busy-until array): each scan's
+  /// lazy first-touch init re-reads it, so updates applied between scans
+  /// (the driver enqueuing one scan's reads before routing the next) are
+  /// observed exactly as in the per-scan path.
+  void BeginBatch(const WaitView& waits) {
     view_ = &waits;
     if (nodes_.size() < waits.node_count()) nodes_.resize(waits.node_count());
-    ++epoch_;
+  }
+
+  /// Starts the next scan of the current batch: O(1), invalidating every
+  /// node's cached wait/used/local-id state via the epoch stamp.
+  void NextScan() { ++epoch_; }
+
+  /// Starts a new single-scan routing call against `waits`. O(1) once the
+  /// node-state array has grown to the cluster size.
+  void BeginScan(const WaitView& waits) {
+    BeginBatch(waits);
+    NextScan();
   }
 
   /// Node m's working wait: lazily initialized from the view on first
@@ -110,6 +131,14 @@ class RouterScratch {
   /// Span membership of node m within the current scan.
   bool Used(NodeId m) { return Touch(m).used; }
   void MarkUsed(NodeId m) { Touch(m).used = true; }
+
+  /// Node m's span-adjusted wait in a single epoch check: bitwise the
+  /// same `Wait(m) + (Used(m) ? 0.0 : phi_s)` sum the routers compute,
+  /// without touching the node state twice.
+  double AdjustedWait(NodeId m, double phi_s) {
+    const NodeState& st = Touch(m);
+    return st.wait + (st.used ? 0.0 : phi_s);
+  }
 
   /// Per-request scheduled flags (sized per call by the router).
   std::vector<std::uint8_t> scheduled;
@@ -158,6 +187,25 @@ class RouterScratch {
   const WaitView* view_ = nullptr;
 };
 
+/// A structure-of-arrays block of scans with resolved requests
+/// (routing/scan_batch.h), routed as one unit by RouteBatchInto.
+struct ScanBatch;
+
+/// Per-scan completion hook for RouteBatchInto. The router calls
+/// OnScanRouted exactly once per scan of the batch, in batch order,
+/// immediately after that scan's reads are appended and *before* the next
+/// scan's waits are first read — so a sink that advances the WaitView's
+/// backing state (the driver enqueuing reads into the sim) makes the next
+/// scan observe exactly the state the per-scan path would have seen.
+/// `reads[k].request_index` is relative to the scan's own request span.
+/// A scan that resolved to zero requests is reported with count == 0.
+class BatchSink {
+ public:
+  virtual ~BatchSink() = default;
+  virtual void OnScanRouted(std::size_t scan_index, const RoutedRead* reads,
+                            std::size_t count) = 0;
+};
+
 /// Strategy for routing the fragment reads of one range scan to replica
 /// nodes (paper §8). Implementations receive the per-node pending work
 /// `waits` (seconds) as a working copy they may advance while scheduling.
@@ -197,6 +245,26 @@ class ScanRouter {
                            double read_seconds_per_tuple, double phi_s,
                            RouterScratch* scratch,
                            std::vector<RoutedRead>* out) = 0;
+
+  /// Batched variant (DESIGN.md §11): routes every scan of `batch`
+  /// against one WaitView in a single pass, amortizing scratch setup,
+  /// candidate-span resolution, and virtual dispatch across the block.
+  /// Scans are routed in batch order; decisions are identical to calling
+  /// RouteInto once per scan — node for node, tie for tie, RNG draw for
+  /// RNG draw (the batch equivalence suite enforces this). All reads
+  /// accumulate into `*out` (cleared first), each scan's slice reported to
+  /// `sink` (may be null) as it completes.
+  ///
+  /// On a scan with an empty candidate span, returns FailedPrecondition
+  /// with a partial-commit guarantee: every scan before the failing one is
+  /// fully routed and reported to the sink; the failing scan and all later
+  /// scans are untouched. The caller resumes per-scan from the first
+  /// unreported scan (the driver's retry path does exactly this).
+  virtual Status RouteBatchInto(const ScanBatch& batch, const WaitView& waits,
+                                double read_seconds_per_tuple, double phi_s,
+                                RouterScratch* scratch,
+                                std::vector<RoutedRead>* out,
+                                BatchSink* sink) = 0;
 };
 
 /// Shared precondition for all routers: every request must have at least
@@ -220,6 +288,10 @@ class MaxOfMinsRouter : public ScanRouter {
                    double read_seconds_per_tuple, double phi_s,
                    RouterScratch* scratch,
                    std::vector<RoutedRead>* out) override;
+  Status RouteBatchInto(const ScanBatch& batch, const WaitView& waits,
+                        double read_seconds_per_tuple, double phi_s,
+                        RouterScratch* scratch, std::vector<RoutedRead>* out,
+                        BatchSink* sink) override;
 };
 
 /// Baseline: each request goes to its shortest-queue candidate, ignoring
@@ -234,6 +306,10 @@ class ShortestQueueRouter : public ScanRouter {
                    double read_seconds_per_tuple, double phi_s,
                    RouterScratch* scratch,
                    std::vector<RoutedRead>* out) override;
+  Status RouteBatchInto(const ScanBatch& batch, const WaitView& waits,
+                        double read_seconds_per_tuple, double phi_s,
+                        RouterScratch* scratch, std::vector<RoutedRead>* out,
+                        BatchSink* sink) override;
 };
 
 /// Baseline: greedy set cover minimizing query span ([24]; the paper's
@@ -253,6 +329,10 @@ class GreedyScRouter : public ScanRouter {
                    double read_seconds_per_tuple, double phi_s,
                    RouterScratch* scratch,
                    std::vector<RoutedRead>* out) override;
+  Status RouteBatchInto(const ScanBatch& batch, const WaitView& waits,
+                        double read_seconds_per_tuple, double phi_s,
+                        RouterScratch* scratch, std::vector<RoutedRead>* out,
+                        BatchSink* sink) override;
 };
 
 /// "Power of two choices" variant (the paper's footnote 3, after [32,
@@ -279,6 +359,10 @@ class PowerOfTwoRouter : public ScanRouter {
                    double read_seconds_per_tuple, double phi_s,
                    RouterScratch* scratch,
                    std::vector<RoutedRead>* out) override;
+  Status RouteBatchInto(const ScanBatch& batch, const WaitView& waits,
+                        double read_seconds_per_tuple, double phi_s,
+                        RouterScratch* scratch, std::vector<RoutedRead>* out,
+                        BatchSink* sink) override;
 
   /// Test-only seam for the RNG-consumption contract test: exposes the
   /// internal generator so a test can compare its state against a

@@ -1,0 +1,86 @@
+#ifndef NASHDB_ROUTING_SCAN_BATCH_H_
+#define NASHDB_ROUTING_SCAN_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/query.h"
+#include "common/types.h"
+#include "routing/router.h"
+
+namespace nashdb {
+
+/// A block of range scans in structure-of-arrays form, plus the fragment
+/// requests they resolve to, indexed by a prefix-offset block table
+/// (DESIGN.md §11; the contiguous-block + prefix-offset idiom of
+/// SNIPPETS.md §1).
+///
+/// The scan fields are parallel arrays — entry i of ids/tables/starts/
+/// ends/prices describes scan i — so the resolve pass streams through
+/// contiguous memory instead of chasing per-scan objects. After
+/// ConfigIndex::ResolveBatchInto, `req_off` holds size()+1 prefix offsets
+/// into the flat `requests` array: scan i's fragment requests are
+/// requests[req_off[i] .. req_off[i+1]), each request's candidate nodes a
+/// (cand_begin, cand_count) span into `cand_pool` (the index's flat pool —
+/// nothing is copied).
+///
+/// A batch grows to the largest block it has seen and keeps its capacity
+/// across Clear(), so the steady state allocates nothing.
+struct ScanBatch {
+  // --- SoA scan fields (parallel arrays, one entry per scan) -----------
+  std::vector<std::uint64_t> ids;   // caller-defined scan identity
+  std::vector<TableId> tables;
+  std::vector<TupleIndex> starts;   // interval bounds, half-open
+  std::vector<TupleIndex> ends;
+  std::vector<Money> prices;
+
+  // --- Resolved request block table (filled by ResolveBatchInto) -------
+  /// Prefix offsets into `requests`; size()+1 entries once resolved
+  /// (req_off[0] == 0, req_off[size()] == requests.size()).
+  std::vector<std::uint32_t> req_off;
+  std::vector<FlatRequest> requests;
+  /// The candidate pool every request's span indexes into. Non-owning:
+  /// points at the resolving ConfigIndex's pool, which outlives the batch
+  /// for the duration of the routing call (one shared config epoch).
+  const NodeId* cand_pool = nullptr;
+
+  std::size_t size() const { return tables.size(); }
+  bool empty() const { return tables.empty(); }
+
+  /// Drops all scans and resolved requests; capacity is retained.
+  void Clear() {
+    ids.clear();
+    tables.clear();
+    starts.clear();
+    ends.clear();
+    prices.clear();
+    req_off.clear();
+    requests.clear();
+    cand_pool = nullptr;
+  }
+
+  /// Appends one scan to the SoA arrays (requests stay unresolved until
+  /// the next ResolveBatchInto).
+  void AddScan(std::uint64_t id, const Scan& scan) {
+    ids.push_back(id);
+    tables.push_back(scan.table);
+    starts.push_back(scan.range.start);
+    ends.push_back(scan.range.end);
+    prices.push_back(scan.price);
+  }
+
+  /// Scan i's resolved requests as a routable view. Valid only after
+  /// ResolveBatchInto.
+  RequestBatch ScanRequests(std::size_t i) const {
+    NASHDB_DCHECK(i + 1 < req_off.size());
+    return RequestBatch{requests.data() + req_off[i],
+                        static_cast<std::size_t>(req_off[i + 1] - req_off[i]),
+                        cand_pool};
+  }
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_ROUTING_SCAN_BATCH_H_

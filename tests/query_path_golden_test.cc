@@ -33,7 +33,8 @@ Workload GoldenWorkload() {
 using RouterFactory = std::function<std::unique_ptr<ScanRouter>()>;
 
 RunResult RunOnce(const Workload& workload, const RouterFactory& make_router,
-                  const std::string& fault_spec, bool legacy) {
+                  const std::string& fault_spec, bool legacy,
+                  std::size_t route_batch_size = 64) {
   NashDbOptions opts;
   opts.window_scans = 30;
   opts.block_tuples = 100000;
@@ -43,6 +44,7 @@ RunResult RunOnce(const Workload& workload, const RouterFactory& make_router,
   DriverOptions dopts;
   dopts.reconfigure_interval_s = 1800.0;
   dopts.legacy_query_path = legacy;
+  dopts.route_batch_size = route_batch_size;
   if (!fault_spec.empty()) {
     dopts.faults.spec = *FaultSpec::Parse(fault_spec);
     dopts.faults.seed = 7;
@@ -126,6 +128,42 @@ TEST(QueryPathGoldenTest, PowerOfTwoFaultFree) {
 TEST(QueryPathGoldenTest, PowerOfTwoUnderFaults) {
   RunGoldenCase([] { return std::make_unique<PowerOfTwoRouter>(1234); },
                 kFaults);
+}
+
+// ------------------------------------------- batched path (DESIGN.md §11)
+
+// The batched fast path must be invisible in the results: for every
+// router, routing in blocks of 256 scans produces the same bit-identical
+// record stream as per-scan routing (route_batch_size = 1, the PR 5
+// scalar flat path) and as the legacy seed path — across reconfiguration
+// boundaries, where blocks are force-flushed.
+void RunBatchGoldenCase(const RouterFactory& make_router) {
+  const Workload workload = GoldenWorkload();
+  const RunResult batched =
+      RunOnce(workload, make_router, "", /*legacy=*/false,
+              /*route_batch_size=*/256);
+  const RunResult scalar =
+      RunOnce(workload, make_router, "", /*legacy=*/false,
+              /*route_batch_size=*/1);
+  const RunResult legacy = RunOnce(workload, make_router, "", /*legacy=*/true);
+  ExpectBitIdentical(batched, scalar);
+  ExpectBitIdentical(batched, legacy);
+}
+
+TEST(QueryPathGoldenTest, MaxOfMinsBatchSizeInvariant) {
+  RunBatchGoldenCase([] { return std::make_unique<MaxOfMinsRouter>(); });
+}
+
+TEST(QueryPathGoldenTest, ShortestQueueBatchSizeInvariant) {
+  RunBatchGoldenCase([] { return std::make_unique<ShortestQueueRouter>(); });
+}
+
+TEST(QueryPathGoldenTest, GreedyScBatchSizeInvariant) {
+  RunBatchGoldenCase([] { return std::make_unique<GreedyScRouter>(); });
+}
+
+TEST(QueryPathGoldenTest, PowerOfTwoBatchSizeInvariant) {
+  RunBatchGoldenCase([] { return std::make_unique<PowerOfTwoRouter>(1234); });
 }
 
 }  // namespace

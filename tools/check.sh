@@ -14,12 +14,13 @@
 #              -Werror=thread-safety to check the NASHDB_GUARDED_BY /
 #              NASHDB_REQUIRES annotations.
 #   --bench-smoke
-#              build and run bench_query_path --smoke in the plain
-#              Release tree and validate the BENCH_query_path.json it
-#              writes (CI runs this and uploads the JSON as an
-#              artifact). Smoke iteration counts keep it to seconds; the
-#              numbers are noise-level, the point is that the bench
-#              runs, the route-identity check inside it passes, and the
+#              build and run bench_query_path --smoke and
+#              bench_data_plane --smoke in the plain Release tree and
+#              validate the BENCH_query_path.json / BENCH_data_plane.json
+#              they write (CI runs this and uploads both JSONs as
+#              artifacts). Smoke iteration counts keep it to seconds; the
+#              numbers are noise-level, the point is that the benches
+#              run, the route-identity checks inside them pass, and the
 #              JSON is well-formed.
 #
 # Unknown flags are an error — a typo like --qick silently running the
@@ -95,7 +96,37 @@ EOF
     echo "bench artifact OK (grep fallback)"
   fi
   echo
-  echo "check.sh: bench smoke green (${out})"
+  echo "== data-plane bench (smoke) =="
+  cmake --build build -j "${JOBS}" --target bench_data_plane
+  dp_out="BENCH_data_plane.json"
+  ./build/bench/bench_data_plane --smoke --out="${dp_out}"
+  # Validate: parseable JSON covering the full shards x batch sweep, with
+  # positive throughput and tails at every point.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${dp_out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "data_plane", doc
+assert doc["baseline_scans_per_sec"] > 0, doc
+assert doc["speedup_4shard_batch256_vs_baseline"] > 0, doc
+points = {(p["shards"], p["batch"]) for p in doc["sweep"]}
+want = {(s, b) for s in (1, 2, 4, 8) for b in (1, 16, 64, 256)}
+assert points == want, points ^ want
+for p in doc["sweep"]:
+    assert p["scans_per_sec"] > 0, p
+    assert len(p["per_shard"]) == p["shards"], p
+    for st in p["per_shard"]:
+        assert st["p50_ns"] > 0 and st["p99_ns"] >= st["p50_ns"], st
+print("bench artifact OK:", len(points), "sweep points")
+EOF
+  else
+    grep -q '"bench": "data_plane"' "${dp_out}"
+    grep -q '"speedup_4shard_batch256_vs_baseline"' "${dp_out}"
+    echo "bench artifact OK (grep fallback)"
+  fi
+  echo
+  echo "check.sh: bench smoke green (${out}, ${dp_out})"
   exit 0
 fi
 
@@ -146,6 +177,18 @@ sanitized_pass() {
 }
 
 sanitized_pass tsan thread tsan
+
+# The sharded data plane's real concurrency — one SPSC ring per shard,
+# consumers against a shared read-only epoch — under TSan: one tpch run
+# with 4 shards. Races here would never surface in the single-threaded
+# tier-1 tests.
+echo
+echo "== TSan sharded-driver run (--shards=4) =="
+cmake --build build-tsan -j "${JOBS}" --target nashdb_sim
+./build-tsan/tools/nashdb_sim --workload=tpch --shards=4 --batch=64 \
+    >/dev/null
+echo "sharded driver: clean under TSan"
+
 sanitized_pass asan address faults ASAN_OPTIONS=halt_on_error=1
 sanitized_pass ubsan undefined faults \
     UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1

@@ -42,6 +42,8 @@ struct Flags {
   std::string faults;               // fault scenario spec (empty = none)
   std::uint64_t seed = 0;           // seed for all stochastic components
   bool no_repair = false;           // disable emergency re-replication
+  std::size_t shards = 1;           // driver shards (1 = serial driver)
+  std::size_t batch = 64;           // scans per routed block
   bool help = false;
 };
 
@@ -64,6 +66,20 @@ void PrintHelp() {
       "  --adaptive         adaptive transition detection\n"
       "  --metrics=PATH     write the end-to-end metrics/trace snapshot\n"
       "                     (JSON; see DESIGN.md \"Observability\")\n"
+      "\n"
+      "Data plane (DESIGN.md 11):\n"
+      "  --batch=N          scans per routed block (RouteBatchInto block\n"
+      "                     size; default 64, 1 = per-scan routing;\n"
+      "                     never changes results, only throughput)\n"
+      "  --shards=N         per-core driver shards, each consuming from a\n"
+      "                     lock-free SPSC ring and routing against one\n"
+      "                     shared configuration epoch. Default 1 = the\n"
+      "                     serial elastic driver. N > 1 runs the\n"
+      "                     fault-free single-epoch data plane (the\n"
+      "                     configuration is built once from the whole\n"
+      "                     workload; no reconfiguration) and is\n"
+      "                     incompatible with --faults, --adaptive, and\n"
+      "                     --metrics\n"
       "\n"
       "Fault injection (DESIGN.md 8):\n"
       "  --faults=SPEC      semicolon-separated clauses:\n"
@@ -142,6 +158,10 @@ Flags ParseFlags(int argc, char** argv) {
       f.interval_s = std::atof(v.c_str());
     } else if (ParseFlag(a, "--seed", &v)) {
       f.seed = static_cast<std::uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(a, "--shards", &v)) {
+      f.shards = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--batch", &v)) {
+      f.batch = static_cast<std::size_t>(std::atoll(v.c_str()));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", a);
       std::exit(2);
@@ -276,6 +296,17 @@ int main(int argc, char** argv) {
                 flags_resolved.node_cost);
   }
   const Flags& f = flags_resolved;
+  if (f.shards < 1 || f.batch < 1) {
+    std::fprintf(stderr, "--shards and --batch must be >= 1\n");
+    return 2;
+  }
+  if (f.shards > 1 &&
+      (!f.faults.empty() || f.adaptive || !f.metrics_path.empty())) {
+    std::fprintf(stderr,
+                 "--shards=N>1 runs the fault-free single-epoch data plane; "
+                 "drop --faults/--adaptive/--metrics\n");
+    return 2;
+  }
   auto system = BuildSystem(f, wl.dataset);
   auto router = BuildRouter(f);
 
@@ -300,6 +331,44 @@ int main(int argc, char** argv) {
     d.faults.emergency_repair = !f.no_repair;
   }
 
+  if (f.shards > 1) {
+    // Sharded data plane: one configuration epoch built from the whole
+    // workload, then N per-core shards route their partitions against it.
+    for (const TimedQuery& tq : wl.queries) system->Observe(tq.query);
+    const ClusterConfig config = system->BuildConfig();
+    ShardedDriverOptions so;
+    so.shards = f.shards;
+    so.batch_size = f.batch;
+    so.sim = d.sim;
+    so.phi_s = d.phi_s;
+    const ShardedRunResult sr =
+        RunSharded(wl, config, [&f] { return BuildRouter(f); }, so);
+    const RunResult& r = sr.merged;
+    std::printf("workload           : %s (%zu queries, %lu tuples)\n",
+                wl.name.c_str(), wl.queries.size(),
+                static_cast<unsigned long>(wl.dataset.TotalTuples()));
+    std::printf("system / router    : %s / %s (%zu shards, batch %zu)\n",
+                f.system.c_str(), f.router.c_str(), f.shards, f.batch);
+    std::printf("mean latency       : %10.1f s\n", r.MeanLatency());
+    std::printf("p50 / p95 / p99    : %10.1f / %.1f / %.1f s\n",
+                r.TailLatency(50), r.TailLatency(95), r.TailLatency(99));
+    std::printf("mean query span    : %10.2f nodes\n", r.MeanSpan());
+    std::printf("total cost         : %10.1f cents\n", r.total_cost);
+    std::printf("cluster size       : %10zu nodes\n", r.final_nodes);
+    std::printf("data served        : %10.1f GB\n",
+                static_cast<double>(r.read_tuples) / 1000.0);
+    std::printf("makespan           : %10.1f h\n", r.makespan_s / 3600.0);
+    for (const ShardResult& s : sr.shards) {
+      std::printf("  shard %-2zu         : %7zu queries, %8.1f GB served, "
+                  "makespan %.1f h\n",
+                  s.shard, s.records.size(),
+                  static_cast<double>(s.read_tuples) / 1000.0,
+                  s.makespan_s / 3600.0);
+    }
+    return 0;
+  }
+
+  d.route_batch_size = f.batch;
   const RunResult r = RunWorkload(wl, system.get(), router.get(), d);
 
   std::printf("workload           : %s (%zu queries, %lu tuples)\n",
