@@ -12,7 +12,8 @@ ClusterSim::ClusterSim(const ClusterSimOptions& options) : options_(options) {
 }
 
 void ClusterSim::ApplyConfig(const ClusterConfig& config, SimTime now,
-                             const TransitionPlan* plan) {
+                             const TransitionPlan* plan,
+                             const std::vector<bool>* planned_dead) {
   // Settle rent at the old node count up to `now`.
   accrued_cost_ += static_cast<Money>(billed_nodes_) *
                    options_.node_cost_per_hour * (now - cost_marker_time_) /
@@ -27,6 +28,7 @@ void ClusterSim::ApplyConfig(const ClusterConfig& config, SimTime now,
   std::vector<SimTime> new_slow(n_new, 0.0);
   std::vector<double> new_speed(n_new, 1.0);
 
+  last_transfer_window_s_ = 0.0;
   if (plan != nullptr) {
     const Money drain_rate = options_.node_cost_per_hour / 3600.0;
     std::vector<bool> old_covered(n_old, false);
@@ -46,20 +48,33 @@ void ClusterSim::ApplyConfig(const ClusterConfig& config, SimTime now,
         continue;
       }
       SimTime base = now;
-      if (old_valid && NodeAlive(move.old_node, now)) {
+      const bool alive = old_valid && NodeAlive(move.old_node, now);
+      // A machine crashed *inside an online build window* is dead at
+      // `now` but was not planned dead: its crash must ride the matching
+      // (see the planned_dead header contract), or a retroactive apply
+      // would resurrect it.
+      const bool carry_crash =
+          old_valid && !alive && planned_dead != nullptr &&
+          move.old_node < planned_dead->size() &&
+          !(*planned_dead)[move.old_node];
+      if (alive || carry_crash) {
         // A transitioned machine keeps its pending work and fault state.
         base = std::max(base, busy_until_[move.old_node]);
         new_slow[move.new_node] = slow_until_[move.old_node];
         new_speed[move.new_node] = speed_factor_[move.old_node];
+        if (carry_crash) {
+          new_down[move.new_node] = down_until_[move.old_node];
+        }
       }
-      // A dead matched machine is replaced by a fresh (alive, idle) one;
-      // the failure-aware planner priced the full copy into
-      // `transfer_tuples`. The receiving node must ingest its missing
-      // tuples before serving new reads.
+      // A dead matched machine (dead at planning time) is replaced by a
+      // fresh (alive, idle) one; the failure-aware planner priced the
+      // full copy into `transfer_tuples`. The receiving node must ingest
+      // its missing tuples before serving new reads.
       const SimTime transfer_s = static_cast<double>(move.transfer_tuples) /
                                  options_.transfer_tuples_per_second;
       new_busy[move.new_node] = base + transfer_s;
       transferred_tuples_ += move.transfer_tuples;
+      last_transfer_window_s_ = std::max(last_transfer_window_s_, transfer_s);
     }
     // Old nodes the plan never mentions (hand-built plans) are released
     // like decommissioned ones: drain rent, then gone — never silently

@@ -86,8 +86,22 @@ class ClusterSim {
   /// deliberately dropped. Tests and bootstrap shortcuts use this mode.
   /// Rent accrual switches to the new node count from `now` onward in
   /// both modes.
+  ///
+  /// `planned_dead` (optional, online reconfiguration — DESIGN.md §12) is
+  /// the per-old-node dead bitmap the plan was computed against. An
+  /// online transition applies retroactively at its boundary time after
+  /// faults from inside the build window have already been delivered, so
+  /// a matched node can be dead at `now` for two distinct reasons: dead
+  /// at planning time (marked in the bitmap — the planner priced its
+  /// replacement, so it becomes a fresh machine, as in the legacy path)
+  /// or crashed inside the window (unmarked — the crash must ride the
+  /// old→new matching, or the apply would silently resurrect it). For
+  /// unmarked dead nodes the downtime, backlog base, and speed state are
+  /// carried to the new node exactly like an alive transition. Passing
+  /// nullptr keeps the legacy rule: any node dead at `now` is replaced.
   void ApplyConfig(const ClusterConfig& config, SimTime now,
-                   const TransitionPlan* plan);
+                   const TransitionPlan* plan,
+                   const std::vector<bool>* planned_dead = nullptr);
 
   std::size_t node_count() const { return busy_until_.size(); }
 
@@ -163,6 +177,16 @@ class ClusterSim {
   /// Total tuples moved by transitions so far.
   TupleCount TotalTransferredTuples() const { return transferred_tuples_; }
 
+  /// Transfer window of the most recent plan-apply: the largest per-node
+  /// transfer ingest (seconds of queue time) the plan charged. Transfers
+  /// are modeled as background load on the receiving nodes' queues —
+  /// reads routed there during this window queue behind the copy — and
+  /// this is how long that window lasts on the slowest receiver
+  /// (exported as the sim.transfer_window_s metric). 0 after a teleport.
+  SimTime LastTransferWindowSeconds() const {
+    return last_transfer_window_s_;
+  }
+
   /// Total tuples served to queries so far.
   TupleCount TotalReadTuples() const { return read_tuples_; }
 
@@ -181,6 +205,7 @@ class ClusterSim {
   std::size_t billed_nodes_ = 0;
   TupleCount transferred_tuples_ = 0;
   TupleCount read_tuples_ = 0;
+  SimTime last_transfer_window_s_ = 0.0;
 };
 
 }  // namespace nashdb

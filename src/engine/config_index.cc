@@ -6,7 +6,8 @@
 
 namespace nashdb {
 
-ConfigIndex::ConfigIndex(const ClusterConfig& config) : config_(&config) {
+ConfigIndex::ConfigIndex(const ClusterConfig& config, std::uint64_t epoch)
+    : config_(&config), epoch_(epoch) {
   const std::size_t frag_count = config.fragments().size();
   entries_.reserve(frag_count);
 

@@ -47,9 +47,16 @@ struct ScanScratch {
 /// and sorted by range start, with each entry's candidate nodes a span
 /// into a single flat NodeId pool. Scans resolve in
 /// O(log F + |F(s)|) with no allocation (RequestsForInto).
+///
+/// Epoch contract (DESIGN.md §12): an index may carry the epoch number of
+/// the configuration it was built from. The index is immutable after
+/// construction — once a ConfigEpoch bundle holding it is published to
+/// the query path (serial swap or the sharded driver's atomic epoch
+/// chain), no thread may mutate it or the ClusterConfig it points at, so
+/// concurrent readers need no synchronization beyond the publish edge.
 class ConfigIndex {
  public:
-  explicit ConfigIndex(const ClusterConfig& config);
+  explicit ConfigIndex(const ClusterConfig& config, std::uint64_t epoch = 0);
 
   /// The fragment requests needed to serve `scan`: every fragment of the
   /// scan's table overlapping its range, each carrying the fragment's full
@@ -77,6 +84,10 @@ class ConfigIndex {
   void ResolveBatchInto(ScanBatch* batch) const;
 
   const ClusterConfig& config() const { return *config_; }
+
+  /// Epoch of the configuration this index was built from (0 for indexes
+  /// built outside the epoch machinery).
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   /// One fragment of one table, with its range inlined so the binary
@@ -117,6 +128,7 @@ class ConfigIndex {
                       std::vector<FlatRequest>* out) const;
 
   const ClusterConfig* config_;
+  std::uint64_t epoch_ = 0;
   std::vector<TableSpan> tables_;
   std::vector<Entry> entries_;  // grouped by table, sorted by range start
   std::vector<NodeId> cand_pool_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
+#include <future>
 #include <memory>
 #include <set>
 #include <utility>
@@ -11,6 +13,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/stats.h"
+#include "engine/config_epoch.h"
 #include "engine/config_index.h"
 #include "engine/liveness_overlay.h"
 #include "engine/validate.h"
@@ -26,6 +29,28 @@ double MsSince(std::chrono::steady_clock::time_point start) {
              std::chrono::steady_clock::now() - start)
       .count();
 }
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One in-flight online reconfiguration round (DESIGN.md §12): kicked at
+/// `boundary` (simulated time), published at the first admission at or
+/// after `publish_at`. The future carries the configuration being built
+/// in the background; `dead` is the planning-time dead bitmap captured at
+/// the kick. Transition planning runs inline at publish (it is a sliver
+/// of the build and honestly charged to the stall), so the kick costs the
+/// admission loop exactly one estimator snapshot plus one thread spawn.
+struct PendingBuild {
+  std::future<ClusterConfig> future;
+  SimTime boundary = 0.0;
+  SimTime publish_at = 0.0;
+  std::vector<bool> dead;
+  double kick_stall_s = 0.0;
+  std::chrono::steady_clock::time_point round_start;
+};
 
 /// Completes the §7 transition section of the reconfiguration trace the
 /// system just recorded. Baseline systems record no trace of their own; in
@@ -196,10 +221,14 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   }
 
   // Initial provisioning: build the first configuration and pay for the
-  // initial data load (every replica is a fresh copy).
+  // initial data load (every replica is a fresh copy). The active
+  // configuration lives in an epoch bundle (engine/config_epoch.h):
+  // bootstrap is epoch 0, every applied transition — periodic, online
+  // publish, or emergency repair — replaces `cur` with the next epoch.
   const auto bootstrap_start = std::chrono::steady_clock::now();
-  ClusterConfig config = system->BuildConfig();
+  std::unique_ptr<ConfigEpoch> cur;
   {
+    ClusterConfig config = system->BuildConfig();
     ClusterConfig empty;
     const auto plan_start = std::chrono::steady_clock::now();
     const TransitionPlan bootstrap = PlanTransition(empty, config);
@@ -217,8 +246,8 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       AnnotateTransition(/*sim_time_s=*/0.0, /*applied=*/true, bootstrap,
                          plan_ms, MsSince(bootstrap_start));
     }
+    cur = std::make_unique<ConfigEpoch>(0, std::move(config));
   }
-  ConfigIndex index(config);
 
   // --- Steady-state query-path state (DESIGN.md §10). All per-scan
   // buffers live here and are reused for the whole run: the flat path
@@ -253,13 +282,19 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   // Crash delivery times not yet resolved by a repair/transition, for the
   // faults.time_to_repair_s histogram.
   std::vector<SimTime> pending_crashes;
+  // High-water mark of delivered fault time. The admission loop is
+  // monotonic, but an online round kicked at a boundary the workload
+  // skipped past (boundary < the admitting query's arrival, which already
+  // had its faults delivered) must clamp rather than rewind the
+  // scheduler's clock.
+  SimTime fault_clock = 0.0;
 
-  // Delivers every fault due by `at` into the sim. Monotonic across the
-  // run (the loop only ever calls it with non-decreasing times).
+  // Delivers every fault due by `at` into the sim.
   const auto deliver_faults = [&](SimTime at) {
     if (!fault_sched) return;
+    fault_clock = std::max(fault_clock, at);
     bool any = false;
-    for (const FaultEvent& ev : fault_sched->AdvanceTo(at, &sim)) {
+    for (const FaultEvent& ev : fault_sched->AdvanceTo(fault_clock, &sim)) {
       if (ev.type == FaultType::kCrash) pending_crashes.push_back(ev.time);
       any = true;
     }
@@ -270,8 +305,9 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   };
 
   const auto dead_bitmap = [&](SimTime at) {
-    std::vector<bool> dead(config.node_count(), false);
-    for (NodeId m = 0; m < config.node_count(); ++m) {
+    const std::size_t n = cur->config().node_count();
+    std::vector<bool> dead(n, false);
+    for (NodeId m = 0; m < n; ++m) {
       dead[m] = !sim.NodeAlive(m, at);
     }
     return dead;
@@ -280,6 +316,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   // True if some placed fragment has fewer live replicas than
   // min(placed, repair_min_live) at `at` — the emergency-repair trigger.
   const auto coverage_at_risk = [&](SimTime at) {
+    const ClusterConfig& config = cur->config();
     for (FlatFragmentId fid = 0; fid < config.fragments().size(); ++fid) {
       const std::vector<NodeId>& homes = config.FragmentNodes(fid);
       if (homes.empty()) continue;  // deliberately unreplicated
@@ -294,17 +331,24 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     return false;
   };
 
-  // Any applied transition replaces dead machines with fresh ones (the
-  // failure-aware plan prices the re-copy), so it doubles as a repair:
-  // settle the time-to-repair clock for every pending crash.
+  // An applied transition replaces machines dead at its time with fresh
+  // ones (the failure-aware plan prices the re-copy), so it doubles as a
+  // repair — but only for crashes delivered at or before the transition's
+  // simulated time. An online publish applies retroactively at its
+  // boundary: crashes from inside the build window were not planned dead
+  // (they ride the matching, see ClusterSim::ApplyConfig) and stay
+  // pending until a later transition or repair settles them.
   const auto settle_repairs = [&](SimTime at) {
     if (pending_crashes.empty()) return;
-    if (collect) {
-      for (SimTime t : pending_crashes) {
-        metrics::Observe("faults.time_to_repair_s", at - t);
+    std::size_t kept = 0;
+    for (SimTime t : pending_crashes) {
+      if (t <= at) {
+        if (collect) metrics::Observe("faults.time_to_repair_s", at - t);
+      } else {
+        pending_crashes[kept++] = t;
       }
     }
-    pending_crashes.clear();
+    pending_crashes.resize(kept);
   };
 
   // Re-sends the transfers a fault interrupted mid-transition: each
@@ -315,6 +359,11 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     for (std::size_t i : fault_sched->InterruptedMoves(plan, at)) {
       const NodeTransition& move = plan.moves[i];
       if (move.new_node == kInvalidNode) continue;
+      // A receiver that crashed inside an online build window is dead at
+      // the (retroactive) apply time; the crash wiped its queue, so the
+      // re-sent copy is lost with it — nothing to charge. Never taken in
+      // the stop-the-world path (its plans replace all dead machines).
+      if (!sim.NodeAlive(move.new_node, at)) continue;
       sim.ChargeTransfer(move.new_node, move.transfer_tuples, at);
       if (collect) {
         metrics::Count("faults.transfer_interrupts");
@@ -323,6 +372,12 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       }
     }
   };
+
+  // Set in online mode once the publish machinery below exists; forces
+  // the pending epoch to publish (emergency repair and the legacy round
+  // both mutate `cur` and the system — neither may run with a build in
+  // flight against the old epoch).
+  std::function<void()> force_publish;
 
   // Emergency re-replication (tentpole): when a delivered crash left some
   // fragment under-covered, rebuild the placement without the dead nodes
@@ -335,9 +390,20 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       settle_repairs(at);
       return;
     }
+    // A pending online epoch must land first: the repair replaces `cur`
+    // and calls NoteAppliedConfig, both of which the in-flight build
+    // still reads. The publish itself may restore coverage.
+    if (force_publish) {
+      force_publish();
+      if (!coverage_at_risk(at)) {
+        settle_repairs(at);
+        return;
+      }
+    }
     if (collect) metrics::Count("faults.coverage_lost_events");
     const std::vector<bool> dead = dead_bitmap(at);
-    Result<ClusterConfig> repaired = PlanEmergencyRepair(config, dead);
+    Result<ClusterConfig> repaired =
+        PlanEmergencyRepair(cur->config(), dead);
     if (!repaired.ok()) {
       // Degrade: keep running on the surviving replicas; retries and
       // aborts absorb the gap.
@@ -345,15 +411,17 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       pending_crashes.clear();
       return;
     }
-    const TransitionPlan plan = PlanTransition(config, *repaired, &dead);
+    const TransitionPlan plan =
+        PlanTransition(cur->config(), *repaired, &dead);
     NASHDB_VALIDATE_OR_DIE(ValidateConfig(*repaired));
-    NASHDB_VALIDATE_OR_DIE(ValidatePlan(plan, config, *repaired, &dead));
+    NASHDB_VALIDATE_OR_DIE(
+        ValidatePlan(plan, cur->config(), *repaired, &dead));
     sim.ApplyConfig(*repaired, at, &plan);
     liveness.SyncFrom(sim);
     charge_interruptions(plan, at);
-    config = std::move(*repaired);
-    index = ConfigIndex(config);
-    system->NoteAppliedConfig(config);
+    cur = std::make_unique<ConfigEpoch>(cur->epoch() + 1,
+                                        std::move(*repaired));
+    system->NoteAppliedConfig(cur->config());
     ++result.transitions;
     ++result.emergency_repairs;
     result.repair_transfer_tuples += plan.total_transfer_tuples;
@@ -362,6 +430,8 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       metrics::Count("faults.emergency_repairs");
       metrics::Count("faults.repair_transfer_tuples",
                      plan.total_transfer_tuples);
+      metrics::Observe("sim.transfer_window_s",
+                       sim.LastTransferWindowSeconds());
     }
     settle_repairs(at);
   };
@@ -389,7 +459,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   const auto flush_block = [&]() {
     if (pending.empty()) return;
     if (!block.empty()) {
-      index.ResolveBatchInto(&block);
+      cur->index().ResolveBatchInto(&block);
       WaitView waits(sim.BusyUntil().data(), sim.node_count(),
                      scan_arrival.front());
       sink.Bind(&block, &scan_slot, &scan_arrival, &pending, &waits);
@@ -417,59 +487,209 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     scan_arrival.clear();
   };
 
+  // --- Online reconfiguration (tentpole, DESIGN.md §12). Instead of
+  // stalling the admission loop for BuildConfig + PlanTransition at every
+  // boundary, the round is split in two admission-driven halves: a *kick*
+  // at the boundary snapshots the estimator and starts the build + plan
+  // on a background thread, and a *publish* at the first admission
+  // online_build_window_s later swaps in the finished ConfigEpoch,
+  // applying the transition retroactively at the boundary's simulated
+  // time. Both halves run at fixed simulated times, so the record stream
+  // never depends on build wall-clock; with a zero window the publish
+  // immediately follows its kick — exactly the stop-the-world ordering.
+  const bool online = options.online_reconfig;
+  std::unique_ptr<PendingBuild> pending_build;
+
+  // Kicks the next epoch's build at simulated-time `boundary`. Everything
+  // that reads cluster state at the boundary (fault delivery, the dead
+  // bitmap) happens here on the driver thread; the background task only
+  // reads the heap-pinned PendingBuild and the current (immutable) epoch.
+  const auto kick_build = [&](SimTime boundary) {
+    NASHDB_DCHECK(pending_build == nullptr);
+    if (batched) flush_block();
+    // The transition must see the cluster's true liveness at its time.
+    deliver_faults(boundary);
+    auto pb = std::make_unique<PendingBuild>();
+    pb->boundary = boundary;
+    pb->publish_at = boundary + options.online_build_window_s;
+    pb->round_start = std::chrono::steady_clock::now();
+    if (faults_on) pb->dead = dead_bitmap(boundary);
+    // The only inline work is the estimator snapshot (plus the thread
+    // spawn) inside the async kick; the build itself overlaps with
+    // routing.
+    pb->future = system->BuildConfigAsync();
+    pb->kick_stall_s = SecondsSince(pb->round_start);
+    pending_build = std::move(pb);
+  };
+
+  // Publishes the pending epoch: waits out any residual build time (the
+  // online path's only stall), flushes scans admitted inside the window
+  // (they route against the outgoing epoch), then applies the transition
+  // at the kicking boundary's simulated time.
+  const auto publish_epoch = [&]() {
+    NASHDB_DCHECK(pending_build != nullptr);
+    PendingBuild& pb = *pending_build;
+    double stall_s = pb.kick_stall_s;
+    if (pb.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      pb.future.wait();
+      stall_s += SecondsSince(wait_start);
+    }
+    ClusterConfig next = pb.future.get();
+    // Planning runs inline (it is a sliver of the build) and is charged
+    // to the stall like the residual build wait above.
+    const auto plan_start = std::chrono::steady_clock::now();
+    const std::vector<bool>* dead = faults_on ? &pb.dead : nullptr;
+    const TransitionPlan plan = PlanTransition(cur->config(), next, dead);
+    NASHDB_VALIDATE_OR_DIE(ValidateConfig(next));
+    NASHDB_VALIDATE_OR_DIE(ValidatePlan(plan, cur->config(), next, dead));
+    const double plan_ms = collect ? MsSince(plan_start) : 0.0;
+    stall_s += SecondsSince(plan_start);
+    if (batched) flush_block();
+    const SimTime at = pb.boundary;
+    bool apply = true;
+    if (options.adaptive_reconfigure) {
+      const double stored =
+          static_cast<double>(cur->config().TotalStoredTuples());
+      const double change =
+          stored <= 0.0
+              ? 1.0
+              : static_cast<double>(plan.total_transfer_tuples) / stored;
+      // Never skip while a matched machine is dead: an applied transition
+      // is what replaces crashed machines, so a skip would leave the
+      // crash unrepaired until the data happened to shift enough (the
+      // adaptive-skip repair bug).
+      const bool any_dead =
+          std::find(pb.dead.begin(), pb.dead.end(), true) != pb.dead.end();
+      apply = change >= options.adaptive_min_change ||
+              next.node_count() != cur->config().node_count() || any_dead;
+    }
+    if (apply) {
+      sim.ApplyConfig(next, at, &plan, dead);
+      liveness.SyncFrom(sim);
+      charge_interruptions(plan, at);
+      cur = std::make_unique<ConfigEpoch>(cur->epoch() + 1,
+                                          std::move(next));
+      ++result.transitions;
+      metrics::Count("sim.transitions");
+      if (collect) {
+        metrics::Observe("sim.transfer_window_s",
+                         sim.LastTransferWindowSeconds());
+      }
+      // Machines dead at the boundary were replaced by the applied plan;
+      // in-window crashes (delivered after `at`) stay pending.
+      settle_repairs(at);
+    } else {
+      ++result.transitions_skipped;
+      metrics::Count("sim.transitions_skipped");
+    }
+    result.reconfig_stall_s += stall_s;
+    if (collect) {
+      metrics::Observe("sim.reconfig_stall_s", stall_s);
+      const double round_ms = MsSince(pb.round_start);
+      metrics::Observe("sim.reconfig_round_ms", round_ms);
+      AnnotateTransition(at, apply, plan, plan_ms, round_ms);
+    }
+    pending_build.reset();
+  };
+
+  if (online) {
+    force_publish = [&]() {
+      if (pending_build) publish_epoch();
+    };
+  }
+
   for (const TimedQuery& tq : workload.queries) {
     const SimTime now = tq.arrival;
 
-    // Periodic (or adaptive, §7-extension) reconfiguration + transition.
-    while (options.periodic_reconfigure && now >= next_reconfigure) {
-      // Everything admitted before the boundary must be routed against
-      // the outgoing configuration and its pre-transition queue state.
-      if (batched) flush_block();
-      // The transition must see the cluster's true liveness at its time.
-      deliver_faults(next_reconfigure);
-      const auto round_start = std::chrono::steady_clock::now();
-      ClusterConfig next = system->BuildConfig();
-      const auto plan_start = std::chrono::steady_clock::now();
-      std::vector<bool> dead;
-      if (faults_on) dead = dead_bitmap(next_reconfigure);
-      const TransitionPlan plan =
-          PlanTransition(config, next, faults_on ? &dead : nullptr);
-      NASHDB_VALIDATE_OR_DIE(ValidateConfig(next));
-      NASHDB_VALIDATE_OR_DIE(
-          ValidatePlan(plan, config, next, faults_on ? &dead : nullptr));
-      const double plan_ms = collect ? MsSince(plan_start) : 0.0;
-      bool apply = true;
-      if (options.adaptive_reconfigure) {
-        const double stored =
-            static_cast<double>(config.TotalStoredTuples());
-        const double change =
-            stored <= 0.0 ? 1.0
-                          : static_cast<double>(plan.total_transfer_tuples) /
-                                stored;
-        apply = change >= options.adaptive_min_change ||
-                next.node_count() != config.node_count();
+    if (online) {
+      // Publishes and kicks interleave at fixed simulated times; the
+      // publish check runs first so a window never swallows the next
+      // boundary, and at most one build is ever in flight.
+      for (;;) {
+        if (pending_build && now >= pending_build->publish_at) {
+          publish_epoch();
+        } else if (!pending_build && options.periodic_reconfigure &&
+                   now >= next_reconfigure) {
+          kick_build(next_reconfigure);
+          next_reconfigure += check_interval;
+        } else {
+          break;
+        }
       }
-      if (apply) {
-        sim.ApplyConfig(next, next_reconfigure, &plan);
-        liveness.SyncFrom(sim);
-        charge_interruptions(plan, next_reconfigure);
-        config = std::move(next);
-        index = ConfigIndex(config);
-        ++result.transitions;
-        metrics::Count("sim.transitions");
-        // All machines are live right after an applied transition (dead
-        // ones were replaced), so pending crashes are repaired.
-        settle_repairs(next_reconfigure);
-      } else {
-        ++result.transitions_skipped;
-        metrics::Count("sim.transitions_skipped");
+    } else {
+      // Stop-the-world reconfiguration (periodic or adaptive,
+      // §7-extension): build + plan run inline at every boundary with the
+      // admission loop stalled the whole time — reconfig_stall_s (S2).
+      while (options.periodic_reconfigure && now >= next_reconfigure) {
+        // Everything admitted before the boundary must be routed against
+        // the outgoing configuration and its pre-transition queue state.
+        if (batched) flush_block();
+        // The transition must see the cluster's true liveness at its
+        // time.
+        deliver_faults(next_reconfigure);
+        const auto round_start = std::chrono::steady_clock::now();
+        ClusterConfig next = system->BuildConfig();
+        const auto plan_start = std::chrono::steady_clock::now();
+        std::vector<bool> dead;
+        if (faults_on) dead = dead_bitmap(next_reconfigure);
+        const TransitionPlan plan = PlanTransition(
+            cur->config(), next, faults_on ? &dead : nullptr);
+        NASHDB_VALIDATE_OR_DIE(ValidateConfig(next));
+        NASHDB_VALIDATE_OR_DIE(ValidatePlan(plan, cur->config(), next,
+                                            faults_on ? &dead : nullptr));
+        const double plan_ms = collect ? MsSince(plan_start) : 0.0;
+        // The whole build + plan ran with the admission loop stopped:
+        // that wall-clock is the stall this round charged.
+        const double stall_s = SecondsSince(round_start);
+        result.reconfig_stall_s += stall_s;
+        if (collect) metrics::Observe("sim.reconfig_stall_s", stall_s);
+        bool apply = true;
+        if (options.adaptive_reconfigure) {
+          const double stored =
+              static_cast<double>(cur->config().TotalStoredTuples());
+          const double change =
+              stored <= 0.0
+                  ? 1.0
+                  : static_cast<double>(plan.total_transfer_tuples) /
+                        stored;
+          // Never skip while a matched machine is dead (see the online
+          // publish above for why).
+          const bool any_dead =
+              std::find(dead.begin(), dead.end(), true) != dead.end();
+          apply = change >= options.adaptive_min_change ||
+                  next.node_count() != cur->config().node_count() ||
+                  any_dead;
+        }
+        if (apply) {
+          sim.ApplyConfig(next, next_reconfigure, &plan,
+                          faults_on ? &dead : nullptr);
+          liveness.SyncFrom(sim);
+          charge_interruptions(plan, next_reconfigure);
+          cur = std::make_unique<ConfigEpoch>(cur->epoch() + 1,
+                                              std::move(next));
+          ++result.transitions;
+          metrics::Count("sim.transitions");
+          if (collect) {
+            metrics::Observe("sim.transfer_window_s",
+                             sim.LastTransferWindowSeconds());
+          }
+          // All machines are live right after an applied transition (dead
+          // ones were replaced), so pending crashes are repaired.
+          settle_repairs(next_reconfigure);
+        } else {
+          ++result.transitions_skipped;
+          metrics::Count("sim.transitions_skipped");
+        }
+        if (collect) {
+          const double round_ms = MsSince(round_start);
+          metrics::Observe("sim.reconfig_round_ms", round_ms);
+          AnnotateTransition(next_reconfigure, apply, plan, plan_ms,
+                             round_ms);
+        }
+        next_reconfigure += check_interval;
       }
-      if (collect) {
-        const double round_ms = MsSince(round_start);
-        metrics::Observe("sim.reconfig_round_ms", round_ms);
-        AnnotateTransition(next_reconfigure, apply, plan, plan_ms, round_ms);
-      }
-      next_reconfigure += check_interval;
     }
 
     deliver_faults(now);
@@ -484,6 +704,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       pq.record.id = tq.query.id;
       pq.record.price = tq.query.price;
       pq.record.arrival = now;
+      pq.record.epoch = cur->epoch();
       pq.completion = now;
       pending.push_back(std::move(pq));
       const std::size_t slot = pending.size() - 1;
@@ -500,6 +721,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     record.id = tq.query.id;
     record.price = tq.query.price;
     record.arrival = now;
+    record.epoch = cur->epoch();
 
     std::set<NodeId> nodes_used;
     SimTime completion = now;
@@ -510,10 +732,10 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       // path materializes fresh vectors like the seed code did.
       std::vector<FragmentRequest> legacy_requests;
       if (options.legacy_query_path) {
-        legacy_requests = index.RequestsFor(scan);
+        legacy_requests = cur->index().RequestsFor(scan);
         if (legacy_requests.empty()) continue;
       } else {
-        index.RequestsForInto(scan, &scan_scratch);
+        cur->index().RequestsForInto(scan, &scan_scratch);
         if (scan_scratch.requests.empty()) continue;
       }
 
@@ -556,8 +778,8 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
                   req.candidates.end());
             }
           }
-          std::vector<double> waits(config.node_count(), 0.0);
-          for (NodeId m = 0; m < config.node_count(); ++m) {
+          std::vector<double> waits(cur->config().node_count(), 0.0);
+          for (NodeId m = 0; m < cur->config().node_count(); ++m) {
             waits[m] = sim.WaitSeconds(m, attempt_time);
           }
           Result<std::vector<RoutedRead>> routed =
@@ -630,12 +852,17 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     result.makespan_s = std::max(result.makespan_s, completion);
     result.records.push_back(record);
   }
+  // A build still in flight when the workload ends is published so its
+  // transition lands (the stop-the-world path applied every boundary it
+  // reached); the publish flushes the pending block against the outgoing
+  // epoch first.
+  if (pending_build) publish_epoch();
   if (batched) flush_block();
 
   result.total_cost = sim.AccruedCost(result.makespan_s);
   result.transferred_tuples = sim.TotalTransferredTuples();
   result.read_tuples = sim.TotalReadTuples();
-  result.final_nodes = config.node_count();
+  result.final_nodes = cur->config().node_count();
   if (fault_sched) {
     const FaultStats& fs = fault_sched->stats();
     result.crashes = fs.crashes;

@@ -106,6 +106,26 @@ struct DriverOptions {
   /// and fault-injected runs. Block size never changes results: both
   /// paths produce bit-identical QueryRecord streams (golden test).
   std::size_t route_batch_size = 64;
+
+  /// Online reconfiguration (DESIGN.md §12): at each boundary, kick the
+  /// next epoch's build (BuildConfigAsync + transition planning) onto a
+  /// background thread and keep routing against the current epoch; the
+  /// built epoch is published — applied at the boundary's simulated time
+  /// — at the first admission online_build_window_s after the boundary
+  /// (blocking on the build only if it is still running, which is the
+  /// residual stall RunResult::reconfig_stall_s reports). When no
+  /// queries arrive inside the build window (in particular whenever
+  /// online_build_window_s is 0), the record stream is bit-identical to
+  /// the stop-the-world path (golden test); when they do, those queries
+  /// route against the outgoing epoch — every record still names nodes
+  /// holding its fragments in the epoch it was routed against.
+  bool online_reconfig = false;
+
+  /// Simulated seconds between a reconfiguration boundary and the
+  /// publish of the epoch built there. 0 publishes at the boundary
+  /// itself (legacy-identical records); an occupied window is what
+  /// actually overlaps build wall-clock with routing work.
+  SimTime online_build_window_s = 0.0;
 };
 
 /// Per-query outcome of a run.
@@ -119,6 +139,11 @@ struct QueryRecord {
   TupleCount tuples_read = 0;    // actual tuples read (block granularity)
   /// Coverage-gap retries this query's scans went through.
   std::size_t retries = 0;
+  /// Configuration epoch the query was routed against (0 = bootstrap;
+  /// +1 per applied transition, periodic or emergency repair). Stamped
+  /// identically by the stop-the-world and online paths, so it
+  /// participates in the golden bit-identity contract.
+  std::uint64_t epoch = 0;
   /// True if the query gave up (retry budget or timeout exhausted under
   /// node failures). Aborted records are excluded from the latency/span
   /// aggregates; completion covers only the reads enqueued before the
@@ -141,6 +166,14 @@ struct RunResult {
   std::size_t transitions_skipped = 0;
   SimTime makespan_s = 0.0;
   std::size_t final_nodes = 0;
+  /// Wall-clock seconds the admission loop spent stopped for
+  /// reconfiguration (also the sim.reconfig_stall_s histogram, one entry
+  /// per round). Stop-the-world path: the full BuildConfig +
+  /// PlanTransition time of every round — previously charged to no one,
+  /// making reported latencies silently optimistic. Online path: the
+  /// async kick plus any residual blocking at publish; ~0 once the build
+  /// window overlaps enough routing work.
+  double reconfig_stall_s = 0.0;
   /// Fault-run outcomes (all zero when FaultOptions is inactive).
   std::size_t crashes = 0;
   std::size_t aborted_queries = 0;

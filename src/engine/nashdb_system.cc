@@ -65,7 +65,49 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+NashDbSystem::EstimatorSnapshot NashDbSystem::SnapshotEstimator() const {
+  EstimatorSnapshot snap;
+  snap.window_scans = estimator_->window_scans();
+  snap.window.assign(estimator_->window().begin(), estimator_->window().end());
+  // Materialize every table's value profile now: Profile() is the one
+  // estimator read whose input (the value trees) Observe() mutates, so
+  // capturing it here is what makes the rest of the build safe to overlap
+  // with query admission. Serial on the caller, but linear in tree size —
+  // a sliver of the refragmentation cost it unblocks.
+  for (const TableSpec& table : dataset_.tables) {
+    if (table.tuples == 0) continue;
+    snap.profiles.emplace(table.id,
+                          estimator_->Profile(table.id, table.tuples));
+  }
+  for (TableId t : estimator_->ActiveTables()) {
+    const ValueEstimationTree* tree = estimator_->tree(t);
+    ++snap.active_tables;
+    snap.tree_nodes += tree->node_count();
+    snap.tree_height_max =
+        std::max(snap.tree_height_max, static_cast<std::size_t>(tree->Height()));
+  }
+  snap.estimator_bytes = estimator_->SizeBytes();
+  return snap;
+}
+
 ClusterConfig NashDbSystem::BuildConfig() {
+  return BuildFromSnapshot(SnapshotEstimator());
+}
+
+std::future<ClusterConfig> NashDbSystem::BuildConfigAsync() {
+  // Snapshot serially (Observe may resume the moment this returns), then
+  // build on a detached thread. Deliberately a std::async thread rather
+  // than a pool task: ParallelFor degrades to inline execution when the
+  // caller is itself a pool worker, which would serialize the per-table
+  // refragmentation fan-out inside the build.
+  return std::async(
+      std::launch::async,
+      [this, snap = SnapshotEstimator()]() mutable {
+        return BuildFromSnapshot(std::move(snap));
+      });
+}
+
+ClusterConfig NashDbSystem::BuildFromSnapshot(EstimatorSnapshot snap) {
   // Per-round trace (§4 estimation + §5 fragmentation + §6 replication
   // sections; the driver annotates the §7 transition section afterwards).
   // Everything below that exists only to feed the trace is gated on
@@ -74,20 +116,17 @@ ClusterConfig NashDbSystem::BuildConfig() {
   metrics::ReconfigTrace trace;
   if (collect) {
     trace.round = metrics::Registry::Global().reconfig_count();
-    trace.window_scans = estimator_->window_scans();
-    for (TableId t : estimator_->ActiveTables()) {
-      const ValueEstimationTree* tree = estimator_->tree(t);
-      ++trace.active_tables;
-      trace.tree_nodes += tree->node_count();
-      trace.tree_height_max = std::max(trace.tree_height_max, tree->Height());
-    }
-    trace.estimator_bytes = estimator_->SizeBytes();
+    trace.window_scans = snap.window_scans;
+    trace.active_tables = snap.active_tables;
+    trace.tree_nodes = snap.tree_nodes;
+    trace.tree_height_max = snap.tree_height_max;
+    trace.estimator_bytes = snap.estimator_bytes;
   }
 
   ReplicationParams params;
   params.node_cost = options_.node_cost;
   params.node_disk = options_.node_disk;
-  params.window_scans = estimator_->window_scans();
+  params.window_scans = snap.window_scans;
   params.min_replicas = options_.min_replicas;
   params.max_replicas = options_.max_replicas;
 
@@ -125,11 +164,10 @@ ClusterConfig NashDbSystem::BuildConfig() {
   ParallelFor(pool_.get(), tables.size(), [&](std::size_t ti) {
     const auto task_start = std::chrono::steady_clock::now();
     const TableSpec& table = *tables[ti];
-    const ValueProfile profile =
-        estimator_->Profile(table.id, table.tuples);
+    const ValueProfile& profile = snap.profiles.at(table.id);
 
     std::vector<Scan> table_scans;
-    for (const Scan& s : estimator_->window()) {
+    for (const Scan& s : snap.window) {
       if (s.table == table.id) table_scans.push_back(s);
     }
 

@@ -74,6 +74,16 @@ class NashDbSystem : public DistributionSystem {
   std::string_view name() const override { return "NashDB"; }
   void Observe(const Query& query) override;
   ClusterConfig BuildConfig() override;
+  /// Online-reconfiguration entry point (DESIGN.md §12): snapshots the
+  /// estimator on the calling thread (window copy + materialized value
+  /// profiles — the only state Observe() mutates), then runs the §5-§6
+  /// pipeline on a detached std::async thread, which still fans
+  /// per-table refragmentation out over the internal ThreadPool.
+  /// BuildConfig() and the future's result are bit-identical for the
+  /// same estimator state. Contract as in DistributionSystem: one build
+  /// in flight; Observe() may run concurrently; BuildConfig /
+  /// NoteAppliedConfig / Reset may not.
+  std::future<ClusterConfig> BuildConfigAsync() override;
   /// Re-anchors incremental placement on `config`. The driver calls this
   /// after applying an emergency-repair configuration so the next
   /// BuildConfig packs against what the cluster actually holds instead of
@@ -88,6 +98,25 @@ class NashDbSystem : public DistributionSystem {
   std::size_t MaxFragsFor(TupleCount table_size) const;
 
  private:
+  /// Everything BuildConfig reads from the estimator, captured at one
+  /// instant: the scan window and the materialized per-table value
+  /// profiles (plus the estimator-size trace fields). A snapshot makes
+  /// the rest of the build pure with respect to Observe(), which is what
+  /// lets BuildConfigAsync overlap the build with query admission.
+  struct EstimatorSnapshot {
+    std::size_t window_scans = 0;
+    std::vector<Scan> window;
+    std::map<TableId, ValueProfile> profiles;
+    // Trace-only fields (metrics::ReconfigTrace).
+    std::size_t active_tables = 0;
+    std::size_t tree_nodes = 0;
+    std::size_t tree_height_max = 0;
+    std::size_t estimator_bytes = 0;
+  };
+
+  EstimatorSnapshot SnapshotEstimator() const;
+  ClusterConfig BuildFromSnapshot(EstimatorSnapshot snap);
+
   Dataset dataset_;
   NashDbOptions options_;
   std::unique_ptr<Fragmenter> (*fragmenter_factory_)();

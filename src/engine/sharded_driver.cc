@@ -82,15 +82,38 @@ class ShardBatchSink : public BatchSink {
   WaitView* view_ = nullptr;
 };
 
+/// One node of the epoch chain (DESIGN.md §12). Everything but `next` is
+/// immutable once the link is published: the producer fills config, its
+/// index, and the transition plan from the previous link's config, then
+/// publishes with one release store on the predecessor's `next`; shards
+/// follow the chain with acquire loads and only ever read published
+/// links. The root link (epoch 0, activate_at 0) carries the bootstrap
+/// plan and is visible to every shard before any thread starts.
+struct EpochLink {
+  EpochLink(std::uint64_t epoch_arg, SimTime at, ClusterConfig cfg,
+            TransitionPlan plan_arg)
+      : epoch(epoch_arg),
+        activate_at(at),
+        config(std::move(cfg)),
+        index(config, epoch_arg),
+        plan(std::move(plan_arg)) {}
+
+  const std::uint64_t epoch;
+  const SimTime activate_at;
+  const ClusterConfig config;
+  const ConfigIndex index;   // points into the pinned config above
+  const TransitionPlan plan; // previous link's config -> this config
+  std::atomic<EpochLink*> next{nullptr};
+};
+
 /// Everything one shard thread needs, built on the calling thread before
-/// the shard starts. config/index/bootstrap are shared read-only across
-/// all shards (immutable for the run); queue and done are the only
-/// cross-thread channels; the rest is shard-private.
+/// the shard starts. The epoch chain is shared read-only across all
+/// shards (links are immutable once published); queue, done, and the
+/// chain's `next` pointers are the only cross-thread channels; the rest
+/// is shard-private.
 struct ShardTask {
   std::size_t shard_index = 0;
-  const ClusterConfig* config = nullptr;
-  const ConfigIndex* index = nullptr;
-  const TransitionPlan* bootstrap = nullptr;
+  const EpochLink* chain = nullptr;
   ClusterSimOptions sim_options;
   double phi_s = 0.35;
   std::size_t batch_size = 64;
@@ -101,8 +124,9 @@ struct ShardTask {
 };
 
 void ShardMain(ShardTask* t) {
+  const EpochLink* link = t->chain;
   ClusterSim sim(t->sim_options);
-  sim.ApplyConfig(*t->config, 0.0, t->bootstrap);
+  sim.ApplyConfig(link->config, 0.0, &link->plan);
 
   RouterScratch scratch;
   std::vector<RoutedRead> routed;
@@ -121,7 +145,7 @@ void ShardMain(ShardTask* t) {
   const auto flush = [&]() {
     if (pending.empty()) return;
     if (!block.empty()) {
-      t->index->ResolveBatchInto(&block);
+      link->index.ResolveBatchInto(&block);
       WaitView waits(sim.BusyUntil().data(), sim.node_count(),
                      scan_arrival.front());
       sink.Bind(&block, &scan_slot, &scan_arrival, &pending, &waits);
@@ -144,10 +168,26 @@ void ShardMain(ShardTask* t) {
   };
 
   const auto admit = [&](const TimedQuery& tq) {
+    // Epoch adoption at batch boundaries: follow the chain while the next
+    // published link activates at or before this query's arrival. The
+    // producer publishes a link before pushing the first query with
+    // arrival >= its activation (and the ring's release/acquire pair
+    // makes the publish visible with the query), so adoption points are a
+    // pure function of the shard's own query stream — deterministic
+    // regardless of thread timing. The pending block is flushed first, so
+    // a routed block never spans epochs.
+    for (const EpochLink* nl = link->next.load(std::memory_order_acquire);
+         nl != nullptr && tq.arrival >= nl->activate_at;
+         nl = link->next.load(std::memory_order_acquire)) {
+      flush();
+      sim.ApplyConfig(nl->config, nl->activate_at, &nl->plan);
+      link = nl;
+    }
     PendingQuery pq;
     pq.record.id = tq.query.id;
     pq.record.price = tq.query.price;
     pq.record.arrival = tq.arrival;
+    pq.record.epoch = link->epoch;
     pq.completion = tq.arrival;
     pending.push_back(std::move(pq));
     const std::size_t slot = pending.size() - 1;
@@ -192,21 +232,25 @@ std::size_t ShardOfQuery(const Query& query, std::size_t shards) {
   return ShardOfTable(query.scans.front().table, shards);
 }
 
-ShardedRunResult RunSharded(const Workload& workload,
-                            const ClusterConfig& config,
-                            const RouterFactory& router_factory,
-                            const ShardedDriverOptions& options) {
+namespace {
+
+/// Shared body of RunSharded / RunShardedOnline: spins up the shard
+/// threads against `root` (the bootstrap link), feeds queries in workload
+/// (arrival) order calling `before_push` for each — the online producer's
+/// publish hook; a no-op for the single-epoch run — then joins and merges.
+///
+/// Merge invariant: the record stream is re-interleaved into workload
+/// order (each shard's stream preserves it, so a cursor walk suffices);
+/// rent and transition copies are per-cluster quantities every shard
+/// charged identically — counted once, via a billing sim replaying the
+/// published epoch chain — while read volume, real per-shard work, is
+/// summed across shards.
+ShardedRunResult RunShardedImpl(
+    const Workload& workload, EpochLink* root,
+    const RouterFactory& router_factory, const ShardedDriverOptions& options,
+    const std::function<void(const TimedQuery&)>& before_push) {
   NASHDB_CHECK(router_factory != nullptr);
   const std::size_t shards = std::max<std::size_t>(1, options.shards);
-
-  // One configuration epoch, built before any shard starts: every shard
-  // sim is bootstrapped with the identical plan at t = 0, so all shards
-  // agree on node count, initial transfer backlog, and rent.
-  ClusterConfig empty;
-  const TransitionPlan bootstrap = PlanTransition(empty, config);
-  NASHDB_VALIDATE_OR_DIE(ValidateConfig(config));
-  NASHDB_VALIDATE_OR_DIE(ValidatePlan(bootstrap, empty, config));
-  const ConfigIndex index(config);
 
   std::vector<std::unique_ptr<SpscQueue<const TimedQuery*>>> queues;
   std::vector<ShardTask> tasks(shards);
@@ -217,9 +261,7 @@ ShardedRunResult RunSharded(const Workload& workload,
         std::max<std::size_t>(2, options.queue_capacity)));
     ShardTask& t = tasks[s];
     t.shard_index = s;
-    t.config = &config;
-    t.index = &index;
-    t.bootstrap = &bootstrap;
+    t.chain = root;
     t.sim_options = options.sim;
     t.phi_s = options.phi_s;
     t.batch_size = options.batch_size;
@@ -240,6 +282,7 @@ ShardedRunResult RunSharded(const Workload& workload,
   // sees exactly the workload-order subsequence the partitioner assigns
   // it, independent of thread timing.
   for (const TimedQuery& tq : workload.queries) {
+    before_push(tq);
     SpscQueue<const TimedQuery*>* q =
         queues[ShardOfQuery(tq.query, shards)].get();
     while (!q->TryPush(&tq)) std::this_thread::yield();
@@ -251,12 +294,6 @@ ShardedRunResult RunSharded(const Workload& workload,
   out.shards.reserve(shards);
   for (ShardTask& t : tasks) out.shards.push_back(std::move(t.result));
 
-  // Merge under the single-epoch billing invariant: the record stream is
-  // re-interleaved into workload order (each shard's stream preserves
-  // it, so a cursor walk suffices); rent and the bootstrap copy are
-  // per-cluster quantities every shard charged identically — counted
-  // once, via a billing sim replaying the shared bootstrap — while read
-  // volume is summed across shards.
   RunResult& merged = out.merged;
   std::vector<std::size_t> cursor(shards, 0);
   merged.records.reserve(workload.queries.size());
@@ -269,14 +306,89 @@ ShardedRunResult RunSharded(const Workload& workload,
     merged.read_tuples += sr.read_tuples;
     merged.makespan_s = std::max(merged.makespan_s, sr.makespan_s);
   }
+
+  // Billing replay over the published chain (the producer is done, so a
+  // relaxed walk suffices). Activations never exceed the makespan: a link
+  // is only published when a query with arrival >= activate_at was
+  // pushed, and that query completes no earlier than it arrives.
   ClusterSim billing(options.sim);
-  billing.ApplyConfig(config, 0.0, &bootstrap);
+  billing.ApplyConfig(root->config, 0.0, &root->plan);
+  merged.bootstrap_transfer_tuples = billing.TotalTransferredTuples();
+  const EpochLink* last = root;
+  for (const EpochLink* l = root->next.load(std::memory_order_relaxed);
+       l != nullptr; l = l->next.load(std::memory_order_relaxed)) {
+    billing.ApplyConfig(l->config, l->activate_at, &l->plan);
+    last = l;
+  }
   merged.total_cost = billing.AccruedCost(merged.makespan_s);
   merged.transferred_tuples = billing.TotalTransferredTuples();
-  merged.bootstrap_transfer_tuples = merged.transferred_tuples;
-  merged.transitions = 1;
-  merged.final_nodes = config.node_count();
+  merged.transitions = static_cast<std::size_t>(last->epoch) + 1;
+  merged.final_nodes = last->config.node_count();
   return out;
+}
+
+/// Builds the bootstrap link: epoch 0 at t = 0, planned from an empty
+/// cluster, validated before any shard starts.
+std::unique_ptr<EpochLink> MakeRootLink(const ClusterConfig& config) {
+  ClusterConfig empty;
+  TransitionPlan bootstrap = PlanTransition(empty, config);
+  NASHDB_VALIDATE_OR_DIE(ValidateConfig(config));
+  NASHDB_VALIDATE_OR_DIE(ValidatePlan(bootstrap, empty, config));
+  return std::make_unique<EpochLink>(0, 0.0, config, std::move(bootstrap));
+}
+
+}  // namespace
+
+ShardedRunResult RunSharded(const Workload& workload,
+                            const ClusterConfig& config,
+                            const RouterFactory& router_factory,
+                            const ShardedDriverOptions& options) {
+  // Single-epoch run: the chain is just the bootstrap link and the
+  // producer hook does nothing.
+  const std::unique_ptr<EpochLink> root = MakeRootLink(config);
+  return RunShardedImpl(workload, root.get(), router_factory, options,
+                        [](const TimedQuery&) {});
+}
+
+ShardedRunResult RunShardedOnline(const Workload& workload,
+                                  const ClusterConfig& bootstrap,
+                                  const std::vector<ScheduledEpoch>& epochs,
+                                  const RouterFactory& router_factory,
+                                  const ShardedDriverOptions& options) {
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    NASHDB_CHECK(epochs[i].at > 0.0)
+        << "scheduled epoch " << i << " must activate after t=0";
+    NASHDB_CHECK(i == 0 || epochs[i - 1].at < epochs[i].at)
+        << "scheduled epochs must be sorted by activation time";
+  }
+  const std::unique_ptr<EpochLink> root = MakeRootLink(bootstrap);
+
+  // The producer hook publishes each scheduled epoch immediately before
+  // pushing the first query arriving at or after its activation: the
+  // index + plan build runs on the producer thread while the shards keep
+  // routing against the current chain, and the single release store below
+  // is the publication point shards synchronize with.
+  std::vector<std::unique_ptr<EpochLink>> links;  // outlive the shards
+  links.reserve(epochs.size());
+  EpochLink* tail = root.get();
+  std::size_t next_epoch = 0;
+  const auto publish_due = [&](const TimedQuery& tq) {
+    while (next_epoch < epochs.size() && tq.arrival >= epochs[next_epoch].at) {
+      const ScheduledEpoch& se = epochs[next_epoch];
+      TransitionPlan plan = PlanTransition(tail->config, se.config);
+      NASHDB_VALIDATE_OR_DIE(ValidateConfig(se.config));
+      NASHDB_VALIDATE_OR_DIE(ValidatePlan(plan, tail->config, se.config));
+      auto link = std::make_unique<EpochLink>(tail->epoch + 1, se.at,
+                                              se.config, std::move(plan));
+      EpochLink* raw = link.get();
+      links.push_back(std::move(link));
+      tail->next.store(raw, std::memory_order_release);
+      tail = raw;
+      ++next_epoch;
+    }
+  };
+  return RunShardedImpl(workload, root.get(), router_factory, options,
+                        publish_due);
 }
 
 }  // namespace nashdb

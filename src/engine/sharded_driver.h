@@ -88,6 +88,41 @@ ShardedRunResult RunSharded(const Workload& workload,
                             const RouterFactory& router_factory,
                             const ShardedDriverOptions& options);
 
+/// One scheduled configuration change of an online sharded run: the
+/// cluster adopts `config` at simulated time `at`. Entries must be sorted
+/// by `at` (strictly increasing) and `at` must be positive (time 0 is the
+/// bootstrap epoch).
+struct ScheduledEpoch {
+  ClusterConfig config;
+  SimTime at = 0.0;
+};
+
+/// Online variant of RunSharded (DESIGN.md §12): routing starts against
+/// `bootstrap` (epoch 0) and each ScheduledEpoch is published while the
+/// shards are routing. The producer thread builds the epoch's ConfigIndex
+/// and minimal-transfer plan immediately before pushing the first query
+/// arriving at or after its activation time, then publishes it with one
+/// release store onto an atomic epoch chain; each shard adopts the next
+/// link at the first query it admits with arrival >= activate_at —
+/// flushing its pending block first, so a routed block never spans
+/// epochs, then applying the shared plan to its private sim at the
+/// activation's simulated time.
+///
+/// Determinism: publication order is fixed (workload arrival order) and a
+/// shard's adoption points are a pure function of its own query stream —
+/// the SPSC push of the triggering query happens-after the link's release
+/// store, so the link is always visible when an adoption becomes due.
+/// Records are therefore bit-identical run to run regardless of thread
+/// timing, and each shard's stream equals a shards=1 run of its
+/// partition. Epochs scheduled after the last pushed query are never
+/// published (mirroring the serial driver, which publishes only at
+/// admissions) and are not billed.
+ShardedRunResult RunShardedOnline(const Workload& workload,
+                                  const ClusterConfig& bootstrap,
+                                  const std::vector<ScheduledEpoch>& epochs,
+                                  const RouterFactory& router_factory,
+                                  const ShardedDriverOptions& options);
+
 }  // namespace nashdb
 
 #endif  // NASHDB_ENGINE_SHARDED_DRIVER_H_

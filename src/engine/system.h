@@ -1,6 +1,7 @@
 #ifndef NASHDB_ENGINE_SYSTEM_H_
 #define NASHDB_ENGINE_SYSTEM_H_
 
+#include <future>
 #include <string_view>
 
 #include "common/query.h"
@@ -24,6 +25,26 @@ class DistributionSystem {
 
   /// Computes a fresh cluster configuration from current statistics.
   virtual ClusterConfig BuildConfig() = 0;
+
+  /// Starts building a fresh configuration from the statistics visible at
+  /// call time and returns a future for it, so the caller can keep
+  /// routing against the current configuration while the build runs
+  /// (online reconfiguration, DESIGN.md §12).
+  ///
+  /// Contract: the call itself runs on the caller's thread and must
+  /// capture everything the build needs (systems snapshot their
+  /// statistics here); Observe() may then run concurrently with the
+  /// in-flight build. At most one build may be in flight, and
+  /// BuildConfig / NoteAppliedConfig / Reset must not be called until the
+  /// returned future has been waited on. Default implementation: build
+  /// inline and return a ready future — correct for any system, with the
+  /// whole build cost paid at the call site (the driver reports it as
+  /// reconfiguration stall).
+  virtual std::future<ClusterConfig> BuildConfigAsync() {
+    std::promise<ClusterConfig> built;
+    built.set_value(BuildConfig());
+    return built.get_future();
+  }
 
   /// Tells the system which configuration the cluster is actually running.
   /// Normally that is the last BuildConfig() result, but the driver may

@@ -1,0 +1,343 @@
+// Online reconfiguration (DESIGN.md §12): the epoch-published
+// double-buffered config must be invisible in the results when no queries
+// arrive inside the build window — with online_build_window_s = 0 the
+// online path produces a bit-identical QueryRecord stream (including the
+// epoch stamps) to the stop-the-world path, for every router, with and
+// without fault injection. With an occupied window the run stays
+// deterministic (wall-clock only moves the stall metric, never the
+// records), and the stall itself is the point: the stop-the-world path
+// charges the full BuildConfig + PlanTransition wall-clock to
+// reconfig_stall_s, the online path only the async kick plus residual
+// blocking at publish.
+//
+// Also pins two fault-path fixes that ride this PR:
+//  - adaptive-skip repair (S1): an adaptive check that skips the
+//    transition must still apply when a matched machine is dead, or the
+//    crash sits unrepaired forever;
+//  - interrupts in skipped windows (S3): a scripted transfer interrupt
+//    whose boundary's transition was skipped is deferred to the next
+//    applied transition, not dropped.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <iostream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/faults.h"
+#include "common/metrics.h"
+#include "engine/driver.h"
+#include "engine/nashdb_system.h"
+#include "routing/router.h"
+#include "workload/synthetic.h"
+
+namespace nashdb {
+namespace {
+
+Workload GoldenWorkload() {
+  BernoulliOptions wopts;
+  wopts.db_gb = 3.0;
+  wopts.num_queries = 60;
+  wopts.arrival_span_s = 4.0 * 3600.0;
+  return MakeBernoulliWorkload(wopts);
+}
+
+using RouterFactory = std::function<std::unique_ptr<ScanRouter>()>;
+
+DriverOptions BaseOptions(const std::string& fault_spec) {
+  DriverOptions dopts;
+  dopts.reconfigure_interval_s = 1800.0;
+  if (!fault_spec.empty()) {
+    dopts.faults.spec = *FaultSpec::Parse(fault_spec);
+    dopts.faults.seed = 7;
+  }
+  return dopts;
+}
+
+RunResult RunOnce(const Workload& workload, const RouterFactory& make_router,
+                  const DriverOptions& dopts) {
+  NashDbOptions opts;
+  opts.window_scans = 30;
+  opts.block_tuples = 100000;
+  opts.node_disk = 2000000;
+  NashDbSystem sys(workload.dataset, opts);
+  const std::unique_ptr<ScanRouter> router = make_router();
+  return RunWorkload(workload, &sys, router.get(), dopts);
+}
+
+void ExpectBitIdentical(const RunResult& online, const RunResult& legacy) {
+  ASSERT_EQ(online.records.size(), legacy.records.size());
+  for (std::size_t i = 0; i < online.records.size(); ++i) {
+    const QueryRecord& o = online.records[i];
+    const QueryRecord& l = legacy.records[i];
+    EXPECT_EQ(o.id, l.id) << "record " << i;
+    // EXPECT_EQ on doubles is exact comparison — bit-identity is the
+    // contract, not approximate agreement.
+    EXPECT_EQ(o.price, l.price) << "record " << i;
+    EXPECT_EQ(o.arrival, l.arrival) << "record " << i;
+    EXPECT_EQ(o.completion, l.completion) << "record " << i;
+    EXPECT_EQ(o.latency_s, l.latency_s) << "record " << i;
+    EXPECT_EQ(o.span, l.span) << "record " << i;
+    EXPECT_EQ(o.tuples_read, l.tuples_read) << "record " << i;
+    EXPECT_EQ(o.retries, l.retries) << "record " << i;
+    EXPECT_EQ(o.epoch, l.epoch) << "record " << i;
+    EXPECT_EQ(o.aborted, l.aborted) << "record " << i;
+  }
+  EXPECT_EQ(online.total_cost, legacy.total_cost);
+  EXPECT_EQ(online.transferred_tuples, legacy.transferred_tuples);
+  EXPECT_EQ(online.read_tuples, legacy.read_tuples);
+  EXPECT_EQ(online.transitions, legacy.transitions);
+  EXPECT_EQ(online.transitions_skipped, legacy.transitions_skipped);
+  EXPECT_EQ(online.makespan_s, legacy.makespan_s);
+  EXPECT_EQ(online.aborted_queries, legacy.aborted_queries);
+  EXPECT_EQ(online.scan_retries, legacy.scan_retries);
+  EXPECT_EQ(online.crashes, legacy.crashes);
+  EXPECT_EQ(online.emergency_repairs, legacy.emergency_repairs);
+}
+
+// Same scenario as the query-path golden tests: scripted crashes (one with
+// a scheduled recovery, one permanent) plus a stochastic crash/repair
+// process and emergency re-replication.
+constexpr char kFaults[] =
+    "crash@1800:n0:for=900;crash@5400:n1;mttf=7200;mttr=1800";
+
+void RunGoldenCase(const RouterFactory& make_router,
+                   const std::string& fault_spec) {
+  const Workload workload = GoldenWorkload();
+  DriverOptions online_opts = BaseOptions(fault_spec);
+  online_opts.online_reconfig = true;
+  const RunResult online = RunOnce(workload, make_router, online_opts);
+  const RunResult legacy =
+      RunOnce(workload, make_router, BaseOptions(fault_spec));
+  ExpectBitIdentical(online, legacy);
+  // Epoch stamps advance with applied transitions: the last record's
+  // epoch is the final epoch, and epochs are bootstrap + applied count.
+  ASSERT_FALSE(online.records.empty());
+  EXPECT_EQ(online.records.back().epoch, online.transitions - 1);
+}
+
+TEST(OnlineReconfigGoldenTest, MaxOfMinsFaultFree) {
+  RunGoldenCase([] { return std::make_unique<MaxOfMinsRouter>(); }, "");
+}
+
+TEST(OnlineReconfigGoldenTest, MaxOfMinsUnderFaults) {
+  RunGoldenCase([] { return std::make_unique<MaxOfMinsRouter>(); }, kFaults);
+}
+
+TEST(OnlineReconfigGoldenTest, ShortestQueueFaultFree) {
+  RunGoldenCase([] { return std::make_unique<ShortestQueueRouter>(); }, "");
+}
+
+TEST(OnlineReconfigGoldenTest, ShortestQueueUnderFaults) {
+  RunGoldenCase([] { return std::make_unique<ShortestQueueRouter>(); },
+                kFaults);
+}
+
+TEST(OnlineReconfigGoldenTest, GreedyScFaultFree) {
+  RunGoldenCase([] { return std::make_unique<GreedyScRouter>(); }, "");
+}
+
+TEST(OnlineReconfigGoldenTest, GreedyScUnderFaults) {
+  RunGoldenCase([] { return std::make_unique<GreedyScRouter>(); }, kFaults);
+}
+
+TEST(OnlineReconfigGoldenTest, PowerOfTwoFaultFree) {
+  // Same seed on both runs: bit-identity includes the RNG draw sequence.
+  RunGoldenCase([] { return std::make_unique<PowerOfTwoRouter>(1234); }, "");
+}
+
+TEST(OnlineReconfigGoldenTest, PowerOfTwoUnderFaults) {
+  RunGoldenCase([] { return std::make_unique<PowerOfTwoRouter>(1234); },
+                kFaults);
+}
+
+// The scalar per-scan path (route_batch_size = 1) goes through the same
+// epoch machinery as the batched path.
+TEST(OnlineReconfigGoldenTest, ScalarPathFaultFree) {
+  const Workload workload = GoldenWorkload();
+  DriverOptions online_opts = BaseOptions("");
+  online_opts.online_reconfig = true;
+  online_opts.route_batch_size = 1;
+  DriverOptions legacy_opts = BaseOptions("");
+  legacy_opts.route_batch_size = 1;
+  const auto make_router = [] { return std::make_unique<MaxOfMinsRouter>(); };
+  ExpectBitIdentical(RunOnce(workload, make_router, online_opts),
+                     RunOnce(workload, make_router, legacy_opts));
+}
+
+// ------------------------------------------------ occupied build window
+
+// With a non-zero window, queries arriving between kick and publish route
+// against the outgoing epoch. The record stream is a pure function of the
+// workload — wall-clock (how long the build actually took) never leaks
+// into the records, so two runs are bit-identical.
+TEST(OnlineReconfigWindowTest, OccupiedWindowIsDeterministic) {
+  const Workload workload = GoldenWorkload();
+  const auto make_router = [] { return std::make_unique<MaxOfMinsRouter>(); };
+  DriverOptions dopts = BaseOptions("");
+  dopts.online_reconfig = true;
+  dopts.online_build_window_s = 900.0;  // half the reconfigure interval
+  const RunResult a = RunOnce(workload, make_router, dopts);
+  const RunResult b = RunOnce(workload, make_router, dopts);
+  ExpectBitIdentical(a, b);
+  // The run still transitions and completes everything.
+  EXPECT_GT(a.transitions, 1u);
+  EXPECT_EQ(a.aborted_queries, 0u);
+  ASSERT_FALSE(a.records.empty());
+  EXPECT_EQ(a.records.back().epoch, a.transitions - 1);
+}
+
+// Same under faults: in-window crashes ride the retroactive apply (the
+// planned_dead carry in ClusterSim::ApplyConfig) instead of being
+// resurrected, and the run stays deterministic.
+TEST(OnlineReconfigWindowTest, OccupiedWindowUnderFaultsIsDeterministic) {
+  const Workload workload = GoldenWorkload();
+  const auto make_router = [] { return std::make_unique<MaxOfMinsRouter>(); };
+  DriverOptions dopts = BaseOptions(kFaults);
+  dopts.online_reconfig = true;
+  dopts.online_build_window_s = 900.0;
+  const RunResult a = RunOnce(workload, make_router, dopts);
+  const RunResult b = RunOnce(workload, make_router, dopts);
+  ExpectBitIdentical(a, b);
+  EXPECT_GT(a.crashes, 0u);
+}
+
+// ------------------------------------------------------- stall metric
+
+// The reason the tentpole exists: the stop-the-world path stalls the
+// admission loop for the full build + plan of every round, the online
+// path only for the async kick (estimator snapshot) plus whatever build
+// time the occupied window failed to hide.
+TEST(OnlineReconfigStallTest, OnlineStallsLessThanStopTheWorld) {
+  BernoulliOptions wopts;
+  wopts.db_gb = 40.0;
+  // Dense arrivals: the build window must contain enough routing
+  // wall-clock to actually hide the build (simulated seconds are free;
+  // only admitted work burns real time while the background build runs).
+  wopts.num_queries = 8000;
+  wopts.arrival_span_s = 4.0 * 3600.0;
+  const Workload workload = MakeBernoulliWorkload(wopts);
+  // Fine-grained fragments and a deep estimator window make the build
+  // genuinely expensive — the stall comparison is meaningless when the
+  // whole build costs less than spawning the background thread (the
+  // online path's fixed per-round cost, ~1 ms on a loaded single core).
+  NashDbOptions sys_opts;
+  sys_opts.window_scans = 1000;
+  sys_opts.block_tuples = 500;
+  sys_opts.node_disk = 60000;
+  const auto make_router = [] { return std::make_unique<MaxOfMinsRouter>(); };
+  const auto run = [&](bool online_mode) {
+    NashDbSystem sys(workload.dataset, sys_opts);
+    const std::unique_ptr<ScanRouter> router = make_router();
+    DriverOptions dopts = BaseOptions("");
+    // Prewarm so the bootstrap configuration is already fine-grained:
+    // without it the first window routes against a near-empty estimator's
+    // trivial config (almost no wall-clock to hide the most expensive
+    // build of the run behind).
+    dopts.prewarm_scans = 2000;
+    dopts.online_reconfig = online_mode;
+    if (online_mode) dopts.online_build_window_s = 900.0;
+    return RunWorkload(workload, &sys, router.get(), dopts);
+  };
+  // Wall-clock measurement: take the min over two runs of each mode (the
+  // min is the clean estimate of the true cost; scheduling noise only
+  // ever inflates a run).
+  RunResult legacy = run(false);
+  RunResult online = run(true);
+  {
+    const RunResult legacy2 = run(false);
+    const RunResult online2 = run(true);
+    if (legacy2.reconfig_stall_s < legacy.reconfig_stall_s) legacy = legacy2;
+    if (online2.reconfig_stall_s < online.reconfig_stall_s) online = online2;
+  }
+  // Records must agree on everything epoch-visible even though the stall
+  // differs (window boundaries shift which epoch a record is stamped
+  // with, so only the aggregate invariants are compared here).
+  EXPECT_EQ(online.records.size(), legacy.records.size());
+  EXPECT_GT(legacy.reconfig_stall_s, 0.0);
+  std::cerr << "reconfig stall: legacy=" << legacy.reconfig_stall_s
+            << "s online=" << online.reconfig_stall_s << "s\n";
+  // The online stall excludes every wall-clock second the window hid;
+  // with dense arrivals and a 900 s window the builds finish in the
+  // background. Guard loosely (wall-clock comparison) — the invariant is
+  // "strictly less", the magnitude is reported by the sim CLI.
+  EXPECT_LT(online.reconfig_stall_s, legacy.reconfig_stall_s);
+}
+
+// --------------------------------------- adaptive-skip repair fix (S1)
+
+// A permanently crashed node with emergency repair disabled and an
+// adaptive threshold no plan can meet: before the fix every check skipped
+// and the machine stayed dead forever. The dead-machine override forces
+// the transition through, replacing the node.
+TEST(AdaptiveSkipRepairTest, DeadNodeForcesAdaptiveApply) {
+  const Workload workload = GoldenWorkload();
+  const auto make_router = [] { return std::make_unique<MaxOfMinsRouter>(); };
+  DriverOptions dopts = BaseOptions("crash@1800:n0");
+  dopts.faults.emergency_repair = false;
+  dopts.adaptive_reconfigure = true;
+  dopts.adaptive_check_interval_s = 600.0;
+  dopts.adaptive_min_change = 2.0;  // unreachable: no plan moves 200%
+  const RunResult faulted = RunOnce(workload, make_router, dopts);
+
+  // Control: the same run without the crash never meets the threshold, so
+  // nothing but the bootstrap transition applies.
+  DriverOptions control_opts = dopts;
+  control_opts.faults = FaultOptions{};
+  control_opts.faults.emergency_repair = false;
+  const RunResult control = RunOnce(workload, make_router, control_opts);
+  EXPECT_EQ(control.transitions, 1u);
+  EXPECT_GT(control.transitions_skipped, 0u);
+
+  // With the crash, the first check after delivery applies regardless of
+  // the threshold and replaces the dead machine.
+  EXPECT_EQ(faulted.crashes, 1u);
+  EXPECT_GE(faulted.transitions, 2u);
+  EXPECT_EQ(faulted.emergency_repairs, 0u);
+}
+
+// Same scenario through the online path: the publish-side adaptive
+// decision carries the identical dead-machine override.
+TEST(AdaptiveSkipRepairTest, DeadNodeForcesAdaptiveApplyOnline) {
+  const Workload workload = GoldenWorkload();
+  const auto make_router = [] { return std::make_unique<MaxOfMinsRouter>(); };
+  DriverOptions dopts = BaseOptions("crash@1800:n0");
+  dopts.faults.emergency_repair = false;
+  dopts.adaptive_reconfigure = true;
+  dopts.adaptive_check_interval_s = 600.0;
+  dopts.adaptive_min_change = 2.0;
+  dopts.online_reconfig = true;
+  const RunResult faulted = RunOnce(workload, make_router, dopts);
+  EXPECT_EQ(faulted.crashes, 1u);
+  EXPECT_GE(faulted.transitions, 2u);
+}
+
+// ------------------------------- interrupts in skipped windows (S3)
+
+// A scripted transfer interrupt lands in a window whose transition was
+// skipped (adaptive threshold unreachable, nothing dead yet). The
+// interrupt is *deferred*, not dropped: the next applied transition — here
+// forced by a later crash via the S1 override — re-sends its transfers.
+TEST(SkippedWindowInterruptTest, InterruptDefersToNextAppliedTransition) {
+  const Workload workload = GoldenWorkload();
+  const auto make_router = [] { return std::make_unique<MaxOfMinsRouter>(); };
+  DriverOptions dopts = BaseOptions("interrupt@700;crash@3000:n0");
+  dopts.faults.emergency_repair = false;
+  dopts.adaptive_reconfigure = true;
+  dopts.adaptive_check_interval_s = 600.0;
+  dopts.adaptive_min_change = 2.0;
+  const RunResult result = RunOnce(workload, make_router, dopts);
+  // Checks at 1200/1800/2400 skip (threshold unreachable, all alive); the
+  // check at 3600 sees the dead machine, applies, and the pending
+  // interrupt fires against that plan's transfers.
+  EXPECT_GT(result.transitions_skipped, 0u);
+  EXPECT_GE(result.transitions, 2u);
+  EXPECT_GT(
+      metrics::Registry::Global().CounterValue("faults.transfer_interrupts"),
+      0u);
+}
+
+}  // namespace
+}  // namespace nashdb

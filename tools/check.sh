@@ -6,8 +6,10 @@
 #
 # Usage: tools/check.sh [--quick | --static | --bench-smoke]
 #   --quick    in the sanitizer passes, run only the targeted labels
-#              (ctest -L tsan for TSan, -L faults for ASan/UBSan) instead
-#              of the full suite.
+#              (ctest -L 'tsan|online' for TSan, -L faults for
+#              ASan/UBSan) instead of the full suite. The online label
+#              marks the online-reconfiguration suites (epoch publish
+#              concurrent with routing, DESIGN.md 12).
 #   --static   static analysis only, no tests: tools/tidy.sh (clang-tidy
 #              with the curated .clang-tidy) plus, when clang++ is on
 #              PATH, a full compile under -Wthread-safety
@@ -176,7 +178,7 @@ sanitized_pass() {
       --no-tests=error --output-on-failure -j "${JOBS}"
 }
 
-sanitized_pass tsan thread tsan
+sanitized_pass tsan thread 'tsan|online'
 
 # The sharded data plane's real concurrency — one SPSC ring per shard,
 # consumers against a shared read-only epoch — under TSan: one tpch run
@@ -188,6 +190,19 @@ cmake --build build-tsan -j "${JOBS}" --target nashdb_sim
 ./build-tsan/tools/nashdb_sim --workload=tpch --shards=4 --batch=64 \
     >/dev/null
 echo "sharded driver: clean under TSan"
+
+# Online reconfiguration under TSan (DESIGN.md 12): the serial control
+# plane runs the fault scenario with background epoch builds
+# (BuildConfigAsync racing the admission loop), then the sharded data
+# plane publishes epochs over the release/acquire chain while 4 shards
+# route. Both concurrency surfaces are exercised by one command.
+echo
+echo "== TSan online-reconfig run (--online-reconfig --faults --shards=4) =="
+./build-tsan/tools/nashdb_sim --workload=bernoulli --scale=0.05 \
+    --online-reconfig --build-window=600 \
+    --faults='crash@7200:n0:for=1800;mttf=43200;mttr=3600' \
+    --shards=4 --batch=64 >/dev/null
+echo "online reconfiguration: clean under TSan"
 
 sanitized_pass asan address faults ASAN_OPTIONS=halt_on_error=1
 sanitized_pass ubsan undefined faults \

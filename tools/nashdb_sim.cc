@@ -44,6 +44,8 @@ struct Flags {
   bool no_repair = false;           // disable emergency re-replication
   std::size_t shards = 1;           // driver shards (1 = serial driver)
   std::size_t batch = 64;           // scans per routed block
+  bool online = false;              // online (zero-stall) reconfiguration
+  double build_window_s = 0.0;      // online publish delay (sim seconds)
   bool help = false;
 };
 
@@ -80,6 +82,25 @@ void PrintHelp() {
       "                     workload; no reconfiguration) and is\n"
       "                     incompatible with --faults, --adaptive, and\n"
       "                     --metrics\n"
+      "\n"
+      "Online reconfiguration (DESIGN.md 12):\n"
+      "  --online-reconfig  build each new configuration on a background\n"
+      "                     thread while routing continues against the\n"
+      "                     current epoch, publishing at the boundary's\n"
+      "                     simulated time (zero-stall; the summary's\n"
+      "                     'reconfig stall' line shows the wall-clock the\n"
+      "                     admission loop actually lost in each mode).\n"
+      "                     With --shards=N>1 the sharded data plane\n"
+      "                     replays a prefix-derived epoch schedule,\n"
+      "                     publishing epochs while the shards route; if\n"
+      "                     --faults is also given, the serial elastic\n"
+      "                     control plane runs first under the faults and\n"
+      "                     the fault-free sharded replay follows\n"
+      "  --build-window=S   simulated seconds between a boundary and its\n"
+      "                     epoch's publish (serial online path only;\n"
+      "                     default 0 = publish at the boundary, which\n"
+      "                     keeps records bit-identical to the\n"
+      "                     stop-the-world path)\n"
       "\n"
       "Fault injection (DESIGN.md 8):\n"
       "  --faults=SPEC      semicolon-separated clauses:\n"
@@ -133,6 +154,10 @@ Flags ParseFlags(int argc, char** argv) {
       f.adaptive = true;
     } else if (std::strcmp(a, "--no-repair") == 0) {
       f.no_repair = true;
+    } else if (std::strcmp(a, "--online-reconfig") == 0) {
+      f.online = true;
+    } else if (ParseFlag(a, "--build-window", &v)) {
+      f.build_window_s = std::atof(v.c_str());
     } else if (ParseFlag(a, "--workload", &f.workload) ||
                ParseFlag(a, "--system", &f.system) ||
                ParseFlag(a, "--router", &f.router) ||
@@ -274,6 +299,69 @@ std::unique_ptr<ScanRouter> BuildRouter(const Flags& f) {
   std::exit(2);
 }
 
+void PrintSerialSummary(const Flags& f, const Workload& wl,
+                        const RunResult& r) {
+  std::printf("workload           : %s (%zu queries, %lu tuples)\n",
+              wl.name.c_str(), wl.queries.size(),
+              static_cast<unsigned long>(wl.dataset.TotalTuples()));
+  std::printf("system / router    : %s / %s%s\n", f.system.c_str(),
+              f.router.c_str(), f.online ? " (online reconfig)" : "");
+  std::printf("mean latency       : %10.1f s\n", r.MeanLatency());
+  std::printf("p50 / p95 / p99    : %10.1f / %.1f / %.1f s\n",
+              r.TailLatency(50), r.TailLatency(95), r.TailLatency(99));
+  std::printf("mean query span    : %10.2f nodes\n", r.MeanSpan());
+  std::printf("total cost         : %10.1f cents\n", r.total_cost);
+  std::printf("final cluster size : %10zu nodes\n", r.final_nodes);
+  std::printf("transitions        : %10zu (+%zu skipped)\n", r.transitions,
+              r.transitions_skipped);
+  std::printf("reconfig stall     : %10.4f s wall-clock (%s)\n",
+              r.reconfig_stall_s,
+              f.online ? "online: kick + residual publish wait"
+                       : "stop-the-world: build + plan, every round");
+  std::printf("data moved         : %10.1f GB (bootstrap %.1f GB)\n",
+              static_cast<double>(r.transferred_tuples) / 1000.0,
+              static_cast<double>(r.bootstrap_transfer_tuples) / 1000.0);
+  std::printf("data served        : %10.1f GB\n",
+              static_cast<double>(r.read_tuples) / 1000.0);
+  std::printf("makespan           : %10.1f h\n", r.makespan_s / 3600.0);
+  if (!f.faults.empty()) {
+    std::printf("faults             : %10zu crashes, %zu retries, "
+                "%zu aborted queries\n",
+                r.crashes, r.scan_retries, r.aborted_queries);
+    std::printf("emergency repairs  : %10zu (%.1f GB re-replicated)\n",
+                r.emergency_repairs,
+                static_cast<double>(r.repair_transfer_tuples) / 1000.0);
+  }
+}
+
+/// Prefix-derived epoch schedule for the sharded online data plane: the
+/// bootstrap is built from the first interval's arrivals, then one epoch
+/// per subsequent boundary, each built from exactly the queries arriving
+/// before it (no lookahead) and activating at the boundary — the data
+/// plane's replay of what the serial control loop would publish.
+std::vector<ScheduledEpoch> BuildEpochSchedule(const Flags& f,
+                                               const Workload& wl,
+                                               DistributionSystem* system,
+                                               ClusterConfig* bootstrap) {
+  std::size_t qi = 0;
+  const auto observe_until = [&](SimTime t) {
+    while (qi < wl.queries.size() && wl.queries[qi].arrival < t) {
+      system->Observe(wl.queries[qi++].query);
+    }
+  };
+  observe_until(f.interval_s);
+  *bootstrap = system->BuildConfig();
+  std::vector<ScheduledEpoch> schedule;
+  const SimTime last_arrival =
+      wl.queries.empty() ? 0.0 : wl.queries.back().arrival;
+  for (SimTime b = 2.0 * f.interval_s; b <= last_arrival;
+       b += f.interval_s) {
+    observe_until(b);
+    schedule.push_back({system->BuildConfig(), b});
+  }
+  return schedule;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,11 +388,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--shards and --batch must be >= 1\n");
     return 2;
   }
-  if (f.shards > 1 &&
-      (!f.faults.empty() || f.adaptive || !f.metrics_path.empty())) {
+  if (f.shards > 1 && (f.adaptive || !f.metrics_path.empty())) {
     std::fprintf(stderr,
-                 "--shards=N>1 runs the fault-free single-epoch data plane; "
-                 "drop --faults/--adaptive/--metrics\n");
+                 "--shards=N>1 runs the sharded data plane; "
+                 "drop --adaptive/--metrics\n");
+    return 2;
+  }
+  if (f.shards > 1 && !f.faults.empty() && !f.online) {
+    std::fprintf(stderr,
+                 "--shards=N>1 is fault-free; combine --faults with "
+                 "--online-reconfig to run the serial control plane under "
+                 "the faults first, or drop --faults\n");
     return 2;
   }
   auto system = BuildSystem(f, wl.dataset);
@@ -331,30 +425,63 @@ int main(int argc, char** argv) {
     d.faults.emergency_repair = !f.no_repair;
   }
 
+  d.online_reconfig = f.online;
+  d.online_build_window_s = f.build_window_s;
+  d.route_batch_size = f.batch;
+
   if (f.shards > 1) {
-    // Sharded data plane: one configuration epoch built from the whole
-    // workload, then N per-core shards route their partitions against it.
-    for (const TimedQuery& tq : wl.queries) system->Observe(tq.query);
-    const ClusterConfig config = system->BuildConfig();
+    if (!f.faults.empty()) {
+      // Control plane first: the serial elastic loop runs the whole
+      // workload online under the fault scenario (the sharded data plane
+      // below is fault-free by construction).
+      std::printf("== control plane: serial online run under faults ==\n");
+      const RunResult r = RunWorkload(wl, system.get(), router.get(), d);
+      PrintSerialSummary(f, wl, r);
+      std::printf(
+          "\n== data plane: sharded online epoch replay (fault-free) ==\n");
+    }
+    // Fresh observation state for the data plane (the control run above
+    // fed the shared system its own observations).
+    auto ssys = BuildSystem(f, wl.dataset);
     ShardedDriverOptions so;
     so.shards = f.shards;
     so.batch_size = f.batch;
     so.sim = d.sim;
     so.phi_s = d.phi_s;
-    const ShardedRunResult sr =
-        RunSharded(wl, config, [&f] { return BuildRouter(f); }, so);
+    const auto factory = [&f] { return BuildRouter(f); };
+    ShardedRunResult sr;
+    if (f.online) {
+      // Sharded online data plane: epochs published while shards route.
+      ClusterConfig boot;
+      const std::vector<ScheduledEpoch> schedule =
+          BuildEpochSchedule(f, wl, ssys.get(), &boot);
+      sr = RunShardedOnline(wl, boot, schedule, factory, so);
+    } else {
+      // Single-epoch data plane: one configuration built from the whole
+      // workload, then N per-core shards route their partitions against
+      // it.
+      for (const TimedQuery& tq : wl.queries) ssys->Observe(tq.query);
+      const ClusterConfig config = ssys->BuildConfig();
+      sr = RunSharded(wl, config, factory, so);
+    }
     const RunResult& r = sr.merged;
     std::printf("workload           : %s (%zu queries, %lu tuples)\n",
                 wl.name.c_str(), wl.queries.size(),
                 static_cast<unsigned long>(wl.dataset.TotalTuples()));
-    std::printf("system / router    : %s / %s (%zu shards, batch %zu)\n",
-                f.system.c_str(), f.router.c_str(), f.shards, f.batch);
+    std::printf("system / router    : %s / %s (%zu shards, batch %zu%s)\n",
+                f.system.c_str(), f.router.c_str(), f.shards, f.batch,
+                f.online ? ", online epochs" : "");
     std::printf("mean latency       : %10.1f s\n", r.MeanLatency());
     std::printf("p50 / p95 / p99    : %10.1f / %.1f / %.1f s\n",
                 r.TailLatency(50), r.TailLatency(95), r.TailLatency(99));
     std::printf("mean query span    : %10.2f nodes\n", r.MeanSpan());
     std::printf("total cost         : %10.1f cents\n", r.total_cost);
     std::printf("cluster size       : %10zu nodes\n", r.final_nodes);
+    std::printf("epochs published   : %10zu (bootstrap + %zu transitions)\n",
+                r.transitions, r.transitions - 1);
+    std::printf("data moved         : %10.1f GB (bootstrap %.1f GB)\n",
+                static_cast<double>(r.transferred_tuples) / 1000.0,
+                static_cast<double>(r.bootstrap_transfer_tuples) / 1000.0);
     std::printf("data served        : %10.1f GB\n",
                 static_cast<double>(r.read_tuples) / 1000.0);
     std::printf("makespan           : %10.1f h\n", r.makespan_s / 3600.0);
@@ -368,36 +495,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  d.route_batch_size = f.batch;
   const RunResult r = RunWorkload(wl, system.get(), router.get(), d);
-
-  std::printf("workload           : %s (%zu queries, %lu tuples)\n",
-              wl.name.c_str(), wl.queries.size(),
-              static_cast<unsigned long>(wl.dataset.TotalTuples()));
-  std::printf("system / router    : %s / %s\n", f.system.c_str(),
-              f.router.c_str());
-  std::printf("mean latency       : %10.1f s\n", r.MeanLatency());
-  std::printf("p50 / p95 / p99    : %10.1f / %.1f / %.1f s\n",
-              r.TailLatency(50), r.TailLatency(95), r.TailLatency(99));
-  std::printf("mean query span    : %10.2f nodes\n", r.MeanSpan());
-  std::printf("total cost         : %10.1f cents\n", r.total_cost);
-  std::printf("final cluster size : %10zu nodes\n", r.final_nodes);
-  std::printf("transitions        : %10zu (+%zu skipped)\n", r.transitions,
-              r.transitions_skipped);
-  std::printf("data moved         : %10.1f GB (bootstrap %.1f GB)\n",
-              static_cast<double>(r.transferred_tuples) / 1000.0,
-              static_cast<double>(r.bootstrap_transfer_tuples) / 1000.0);
-  std::printf("data served        : %10.1f GB\n",
-              static_cast<double>(r.read_tuples) / 1000.0);
-  std::printf("makespan           : %10.1f h\n", r.makespan_s / 3600.0);
-  if (!f.faults.empty()) {
-    std::printf("faults             : %10zu crashes, %zu retries, "
-                "%zu aborted queries\n",
-                r.crashes, r.scan_retries, r.aborted_queries);
-    std::printf("emergency repairs  : %10zu (%.1f GB re-replicated)\n",
-                r.emergency_repairs,
-                static_cast<double>(r.repair_transfer_tuples) / 1000.0);
-  }
+  PrintSerialSummary(f, wl, r);
   if (!f.metrics_path.empty() && !r.metrics_json.empty()) {
     std::FILE* mf = std::fopen(f.metrics_path.c_str(), "w");
     if (mf == nullptr) {
