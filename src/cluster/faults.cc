@@ -45,6 +45,23 @@ bool ConsumeNodeId(std::string_view* s, NodeId* out) {
   return true;
 }
 
+/// Parses "nID" (node-scoped) or "rID" (rack-scoped), filling exactly one
+/// of `node` / `rack` and leaving the other kInvalidNode.
+bool ConsumeTarget(std::string_view* s, NodeId* node, NodeId* rack) {
+  *node = kInvalidNode;
+  *rack = kInvalidNode;
+  const bool is_rack = !s->empty() && s->front() == 'r';
+  if (is_rack) {
+    s->remove_prefix(1);
+  } else if (!ConsumePrefix(s, "n")) {
+    return false;
+  }
+  double v = 0.0;
+  if (!ConsumeDouble(s, &v) || v != std::floor(v)) return false;
+  *(is_rack ? rack : node) = static_cast<NodeId>(v);
+  return true;
+}
+
 /// Optional ":for=D" suffix; defaults to kNeverRecovers.
 bool ConsumeDuration(std::string_view* s, SimTime* out) {
   *out = kNeverRecovers;
@@ -56,9 +73,12 @@ bool ConsumeDuration(std::string_view* s, SimTime* out) {
   return s->empty();
 }
 
-Status BadClause(std::string_view clause) {
-  return Status::InvalidArgument("bad --faults clause: '" +
-                                 std::string(clause) + "' (see --help)");
+/// Parse rejection naming the offending token and the grammar it was
+/// expected to match, per-clause (exit code 2 at the CLI).
+Status BadClause(std::string_view clause, std::string_view expected) {
+  return Status::InvalidArgument("bad --faults clause '" +
+                                 std::string(clause) + "': expected " +
+                                 std::string(expected));
 }
 
 }  // namespace
@@ -76,64 +96,108 @@ Result<FaultSpec> FaultSpec::Parse(std::string_view spec) {
     if (ConsumePrefix(&rest, "crash@")) {
       ev.type = FaultType::kCrash;
       if (!ConsumeDouble(&rest, &ev.time) || !ConsumePrefix(&rest, ":") ||
-          !ConsumeNodeId(&rest, &ev.node) ||
+          !ConsumeTarget(&rest, &ev.node, &ev.rack) ||
           !ConsumeDuration(&rest, &ev.duration_s)) {
-        return BadClause(clause);
+        return BadClause(clause, "crash@T:(n|r)ID[:for=D]");
       }
       out.scripted.push_back(ev);
     } else if (ConsumePrefix(&rest, "recover@")) {
       ev.type = FaultType::kRecover;
       if (!ConsumeDouble(&rest, &ev.time) || !ConsumePrefix(&rest, ":") ||
-          !ConsumeNodeId(&rest, &ev.node) || !rest.empty()) {
-        return BadClause(clause);
+          !ConsumeTarget(&rest, &ev.node, &ev.rack) || !rest.empty()) {
+        return BadClause(clause, "recover@T:(n|r)ID");
       }
       out.scripted.push_back(ev);
     } else if (ConsumePrefix(&rest, "slow@")) {
       ev.type = FaultType::kSlowdown;
       if (!ConsumeDouble(&rest, &ev.time) || !ConsumePrefix(&rest, ":") ||
-          !ConsumeNodeId(&rest, &ev.node) || !ConsumePrefix(&rest, ":x") ||
-          !ConsumeDouble(&rest, &ev.factor) ||
-          !ConsumeDuration(&rest, &ev.duration_s)) {
-        return BadClause(clause);
+          !ConsumeTarget(&rest, &ev.node, &ev.rack) ||
+          !ConsumePrefix(&rest, ":x") || !ConsumeDouble(&rest, &ev.factor) ||
+          !ConsumeDuration(&rest, &ev.duration_s) || ev.factor <= 0.0 ||
+          ev.factor > 1.0) {
+        return BadClause(clause,
+                         "slow@T:(n|r)ID:xF[:for=D] with F in (0, 1]");
       }
-      if (ev.factor <= 0.0 || ev.factor > 1.0) return BadClause(clause);
+      out.scripted.push_back(ev);
+    } else if (ConsumePrefix(&rest, "partition@")) {
+      ev.type = FaultType::kPartition;
+      if (!ConsumeDouble(&rest, &ev.time) || !ConsumePrefix(&rest, ":") ||
+          !ConsumeTarget(&rest, &ev.node, &ev.rack) ||
+          !ConsumeDuration(&rest, &ev.duration_s)) {
+        return BadClause(clause, "partition@T:(n|r)ID[:for=D]");
+      }
+      out.scripted.push_back(ev);
+    } else if (ConsumePrefix(&rest, "heal@")) {
+      ev.type = FaultType::kHeal;
+      if (!ConsumeDouble(&rest, &ev.time) || !ConsumePrefix(&rest, ":") ||
+          !ConsumeTarget(&rest, &ev.node, &ev.rack) || !rest.empty()) {
+        return BadClause(clause, "heal@T:(n|r)ID");
+      }
       out.scripted.push_back(ev);
     } else if (ConsumePrefix(&rest, "interrupt@")) {
       ev.type = FaultType::kInterrupt;
       if (!ConsumeDouble(&rest, &ev.time) || !rest.empty()) {
-        return BadClause(clause);
+        return BadClause(clause, "interrupt@T");
       }
       out.scripted.push_back(ev);
+    } else if (ConsumePrefix(&rest, "racks=")) {
+      double v = 0.0;
+      if (!ConsumeDouble(&rest, &v) || !rest.empty() || v < 1.0 ||
+          v != std::floor(v)) {
+        return BadClause(clause, "racks=N with integer N >= 1");
+      }
+      out.racks = static_cast<std::size_t>(v);
     } else if (ConsumePrefix(&rest, "mttf=")) {
       if (!ConsumeDouble(&rest, &out.mttf_s) || !rest.empty() ||
           out.mttf_s <= 0.0) {
-        return BadClause(clause);
+        return BadClause(clause, "mttf=S with S > 0");
       }
     } else if (ConsumePrefix(&rest, "mttr=")) {
       if (!ConsumeDouble(&rest, &out.mttr_s) || !rest.empty()) {
-        return BadClause(clause);
+        return BadClause(clause, "mttr=S");
       }
     } else if (ConsumePrefix(&rest, "straggle-every=")) {
       if (!ConsumeDouble(&rest, &out.straggle_every_s) || !rest.empty() ||
           out.straggle_every_s <= 0.0) {
-        return BadClause(clause);
+        return BadClause(clause, "straggle-every=S with S > 0");
       }
     } else if (ConsumePrefix(&rest, "straggle-for=")) {
       if (!ConsumeDouble(&rest, &out.straggle_for_s) || !rest.empty()) {
-        return BadClause(clause);
+        return BadClause(clause, "straggle-for=S");
       }
     } else if (ConsumePrefix(&rest, "straggle-x=")) {
       if (!ConsumeDouble(&rest, &out.straggle_factor) || !rest.empty() ||
           out.straggle_factor <= 0.0 || out.straggle_factor > 1.0) {
-        return BadClause(clause);
+        return BadClause(clause, "straggle-x=F with F in (0, 1]");
       }
     } else if (ConsumePrefix(&rest, "pinterrupt=")) {
       if (!ConsumeDouble(&rest, &out.interrupt_prob) || !rest.empty() ||
           out.interrupt_prob > 1.0) {
-        return BadClause(clause);
+        return BadClause(clause, "pinterrupt=P with P in [0, 1]");
       }
     } else {
-      return BadClause(clause);
+      const std::size_t head = clause.find_first_of("@=");
+      return Status::InvalidArgument(
+          "bad --faults clause '" + std::string(clause) +
+          "': unknown clause head '" +
+          std::string(clause.substr(0, head)) +
+          "'; known clauses: crash@ recover@ slow@ partition@ heal@ "
+          "interrupt@ racks= mttf= mttr= straggle-every= straggle-for= "
+          "straggle-x= pinterrupt=");
+    }
+  }
+  for (const FaultEvent& ev : out.scripted) {
+    if (ev.rack == kInvalidNode) continue;
+    if (out.racks == 0) {
+      return Status::InvalidArgument(
+          "bad --faults spec: rack-scoped target 'r" +
+          std::to_string(ev.rack) +
+          "' requires a 'racks=N' topology clause");
+    }
+    if (ev.rack >= out.racks) {
+      return Status::InvalidArgument(
+          "bad --faults spec: rack id 'r" + std::to_string(ev.rack) +
+          "' out of range for racks=" + std::to_string(out.racks));
     }
   }
   std::stable_sort(out.scripted.begin(), out.scripted.end(),
@@ -190,36 +254,71 @@ std::vector<FaultEvent> FaultScheduler::AdvanceTo(SimTime now,
 
     FaultEvent ev;
     if (src == kScripted) {
+      // Applies one node-resolved event; returns false (and counts a
+      // drop) when the target's state makes it a no-op.
+      const auto deliver_one = [&](const FaultEvent& e) -> bool {
+        switch (e.type) {
+          case FaultType::kCrash:
+            if (e.node >= sim->node_count() || !sim->NodeAlive(e.node, t)) {
+              break;
+            }
+            sim->FailNode(e.node, t, t + e.duration_s);
+            ++stats_.crashes;
+            return true;
+          case FaultType::kRecover:
+            if (e.node >= sim->node_count() || sim->NodeAlive(e.node, t)) {
+              break;
+            }
+            sim->RecoverNode(e.node, t);
+            ++stats_.recoveries;
+            return true;
+          case FaultType::kSlowdown:
+            if (e.node >= sim->node_count() || !sim->NodeAlive(e.node, t)) {
+              break;
+            }
+            sim->SlowNode(e.node, e.factor, t + e.duration_s);
+            ++stats_.slowdowns;
+            return true;
+          case FaultType::kPartition:
+            if (e.node >= sim->node_count() || !sim->NodeAlive(e.node, t)) {
+              break;
+            }
+            sim->PartitionNode(e.node, t, t + e.duration_s);
+            ++stats_.partitions;
+            return true;
+          case FaultType::kHeal:
+            if (e.node >= sim->node_count() ||
+                !sim->NodeAlive(e.node, t) || sim->NodeRoutable(e.node, t)) {
+              break;
+            }
+            sim->HealNode(e.node, t);
+            ++stats_.heals;
+            return true;
+          case FaultType::kInterrupt:
+            break;  // Handled before the per-node path.
+        }
+        ++stats_.dropped_events;
+        return false;
+      };
       ev = spec_.scripted[next_scripted_++];
-      switch (ev.type) {
-        case FaultType::kCrash:
-          if (ev.node >= sim->node_count() || !sim->NodeAlive(ev.node, t)) {
-            ++stats_.dropped_events;
-            continue;
-          }
-          sim->FailNode(ev.node, t, t + ev.duration_s);
-          ++stats_.crashes;
-          break;
-        case FaultType::kRecover:
-          if (ev.node >= sim->node_count() || sim->NodeAlive(ev.node, t)) {
-            ++stats_.dropped_events;
-            continue;
-          }
-          sim->RecoverNode(ev.node, t);
-          ++stats_.recoveries;
-          break;
-        case FaultType::kSlowdown:
-          if (ev.node >= sim->node_count() || !sim->NodeAlive(ev.node, t)) {
-            ++stats_.dropped_events;
-            continue;
-          }
-          sim->SlowNode(ev.node, ev.factor, t + ev.duration_s);
-          ++stats_.slowdowns;
-          break;
-        case FaultType::kInterrupt:
-          pending_scripted_interrupt_ = true;
-          break;
+      if (ev.type == FaultType::kInterrupt) {
+        pending_scripted_interrupt_ = true;
+        delivered.push_back(ev);
+      } else if (ev.rack != kInvalidNode) {
+        // Rack-scoped: expand against the *current* node count
+        // (round-robin striping, node m in rack m % racks) so correlated
+        // failures follow the elastic cluster.
+        NASHDB_DCHECK(spec_.racks > 0);
+        for (NodeId m = ev.rack; m < sim->node_count();
+             m += static_cast<NodeId>(spec_.racks)) {
+          FaultEvent expanded = ev;
+          expanded.node = m;
+          if (deliver_one(expanded)) delivered.push_back(expanded);
+        }
+      } else if (deliver_one(ev)) {
+        delivered.push_back(ev);
       }
+      continue;
     } else if (src == kStochCrash) {
       next_crash_ = DrawExponential(spec_.mttf_s);
       const NodeId victim = PickLiveVictim(*sim, t);

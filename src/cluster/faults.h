@@ -20,6 +20,8 @@ enum class FaultType {
   kRecover,       ///< Explicit revival of a dead node.
   kSlowdown,      ///< Straggler onset: per-node throughput multiplier.
   kInterrupt,     ///< Mid-transition transfer interruption marker.
+  kPartition,     ///< Network partition: alive for billing, unroutable.
+  kHeal,          ///< Partition heal: node becomes routable again.
 };
 
 /// One scripted fault event. `node` addresses the cluster node occupying
@@ -27,14 +29,24 @@ enum class FaultType {
 /// transitions by the plan's old→new matching); events naming a node id
 /// outside the current cluster, or crashes of already-dead nodes, are
 /// dropped and counted.
+///
+/// `rack != kInvalidNode` makes the event rack-scoped: at delivery time
+/// it expands into one per-node event for every current node striped into
+/// that rack (rack_of(m) = m % racks — round-robin striping, so racks
+/// stay balanced as the cluster elastically grows and shrinks). The
+/// expansion happens against the *current* node count, which is how
+/// correlated rack failures track an elastic cluster.
 struct FaultEvent {
   SimTime time = 0.0;
   FaultType type = FaultType::kCrash;
   NodeId node = kInvalidNode;
+  /// Rack-scoped events: target rack id (kInvalidNode = node-scoped).
+  NodeId rack = kInvalidNode;
   /// kSlowdown: throughput multiplier in (0, 1].
   double factor = 1.0;
-  /// kCrash / kSlowdown: seconds until auto-recovery / speed restore
-  /// (kNeverRecovers = until explicit recovery or replacement).
+  /// kCrash / kSlowdown / kPartition: seconds until auto-recovery /
+  /// speed restore / heal (kNeverRecovers = until explicit
+  /// recovery/heal or replacement).
   SimTime duration_s = kNeverRecovers;
 };
 
@@ -43,10 +55,17 @@ struct FaultEvent {
 /// semicolon-separated clauses (whitespace ignored):
 ///
 ///   crash@T:nID[:for=D]     crash node ID at time T, recover after D s
-///   recover@T:nID           revive node ID at time T
-///   slow@T:nID:xF[:for=D]   node ID serves at F x nominal from T (for D s)
+///   crash@T:rID[:for=D]     crash every node of rack ID (requires racks=)
+///   recover@T:(n|r)ID       revive node ID / rack ID's dead nodes at T
+///   slow@T:(n|r)ID:xF[:for=D]  target serves at F x nominal from T
+///   partition@T:(n|r)ID[:for=D]  network partition: the target stays
+///                           alive (billing, backlog) but is unroutable
+///                           until healed (DESIGN.md §13)
+///   heal@T:(n|r)ID          heal a partitioned node / rack at time T
 ///   interrupt@T             the next transition at/after T restarts every
 ///                           transfer once
+///   racks=N                 topology: N racks, node m in rack m % N
+///                           (required by any r-scoped clause)
 ///   mttf=S                  stochastic crash-stop: exponential
 ///                           inter-crash time with mean S seconds
 ///                           (cluster-wide); victim uniform among live
@@ -58,9 +77,10 @@ struct FaultEvent {
 ///   pinterrupt=P            each transition transfer restarts once with
 ///                           probability P
 ///
-/// Example: "mttf=1800;mttr=600;slow@3600:n0:x0.25;pinterrupt=0.05".
+/// Example: "racks=4;crash@600:r1:for=900;partition@1200:n3:for=300".
 struct FaultSpec {
   std::vector<FaultEvent> scripted;  ///< Sorted by time (stable).
+  std::size_t racks = 0;             ///< 0 = no rack topology declared.
   double mttf_s = 0.0;               ///< 0 = no stochastic crashes.
   double mttr_s = 0.0;               ///< 0 = stochastic crashes permanent.
   double straggle_every_s = 0.0;     ///< 0 = no stochastic stragglers.
@@ -85,6 +105,8 @@ struct FaultStats {
   std::size_t crashes = 0;
   std::size_t recoveries = 0;
   std::size_t slowdowns = 0;
+  std::size_t partitions = 0;
+  std::size_t heals = 0;
   std::size_t dropped_events = 0;
   std::size_t transfer_interrupts = 0;
 };

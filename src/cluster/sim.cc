@@ -25,6 +25,7 @@ void ClusterSim::ApplyConfig(const ClusterConfig& config, SimTime now,
   const std::size_t n_new = config.node_count();
   std::vector<SimTime> new_busy(n_new, now);
   std::vector<SimTime> new_down(n_new, 0.0);
+  std::vector<SimTime> new_unroutable(n_new, 0.0);
   std::vector<SimTime> new_slow(n_new, 0.0);
   std::vector<double> new_speed(n_new, 1.0);
 
@@ -58,10 +59,13 @@ void ClusterSim::ApplyConfig(const ClusterConfig& config, SimTime now,
           move.old_node < planned_dead->size() &&
           !(*planned_dead)[move.old_node];
       if (alive || carry_crash) {
-        // A transitioned machine keeps its pending work and fault state.
+        // A transitioned machine keeps its pending work and fault state —
+        // including any partition: the network condition travels with the
+        // machine, not with its placement assignment.
         base = std::max(base, busy_until_[move.old_node]);
         new_slow[move.new_node] = slow_until_[move.old_node];
         new_speed[move.new_node] = speed_factor_[move.old_node];
+        new_unroutable[move.new_node] = unroutable_until_[move.old_node];
         if (carry_crash) {
           new_down[move.new_node] = down_until_[move.old_node];
         }
@@ -90,6 +94,7 @@ void ClusterSim::ApplyConfig(const ClusterConfig& config, SimTime now,
   // liveness, speed) starts fresh; see the header contract.
   busy_until_ = std::move(new_busy);
   down_until_ = std::move(new_down);
+  unroutable_until_ = std::move(new_unroutable);
   slow_until_ = std::move(new_slow);
   speed_factor_ = std::move(new_speed);
 }
@@ -132,12 +137,34 @@ void ClusterSim::SlowNode(NodeId node, double factor, SimTime until) {
   slow_until_[node] = until;
 }
 
+void ClusterSim::PartitionNode(NodeId node, SimTime now, SimTime heal_at) {
+  NASHDB_CHECK_LT(node, busy_until_.size());
+  NASHDB_CHECK_GE(heal_at, now);
+  // Observer-relative: the node keeps its backlog (queued reads finish
+  // behind the partition and their completions stand) and keeps accruing
+  // rent; only routability changes.
+  unroutable_until_[node] = heal_at;
+}
+
+void ClusterSim::HealNode(NodeId node, SimTime now) {
+  NASHDB_CHECK_LT(node, busy_until_.size());
+  unroutable_until_[node] = std::min(unroutable_until_[node], now);
+}
+
 std::size_t ClusterSim::LiveNodeCount(SimTime at) const {
   std::size_t live = 0;
   for (std::size_t m = 0; m < down_until_.size(); ++m) {
     if (at >= down_until_[m]) ++live;
   }
   return live;
+}
+
+std::size_t ClusterSim::PartitionedNodeCount(SimTime at) const {
+  std::size_t partitioned = 0;
+  for (std::size_t m = 0; m < down_until_.size(); ++m) {
+    if (at >= down_until_[m] && at < unroutable_until_[m]) ++partitioned;
+  }
+  return partitioned;
 }
 
 Money ClusterSim::AccruedCost(SimTime now) const {

@@ -131,7 +131,8 @@ class ClusterSim {
   SimTime EnqueueRead(NodeId node, TupleCount tuples, SimTime now,
                       bool first_use_by_query) {
     NASHDB_CHECK_LT(node, busy_until_.size());
-    NASHDB_CHECK(NodeAlive(node, now)) << "read routed to dead node " << node;
+    NASHDB_CHECK(NodeRoutable(node, now))
+        << "read routed to dead or partitioned node " << node;
     SimTime start = std::max(busy_until_[node], now);
     if (first_use_by_query) start += options_.span_overhead_s;
     const double speed = NodeSpeed(node, now);
@@ -160,8 +161,30 @@ class ClusterSim {
   /// the nominal rate for reads enqueued before `until`.
   void SlowNode(NodeId node, double factor, SimTime until);
 
+  /// Network partition: observer-relative liveness (DESIGN.md §13). The
+  /// node is *alive* — it keeps its queued backlog, keeps accruing rent,
+  /// and is never replaced by transitions — but it is unroutable: no new
+  /// reads may be sent to it until `heal_at` (kNeverRecovers = until an
+  /// explicit HealNode).
+  void PartitionNode(NodeId node, SimTime now, SimTime heal_at);
+
+  /// Heals a partitioned node at `now`: it becomes routable again with
+  /// its queue intact.
+  void HealNode(NodeId node, SimTime now);
+
   bool NodeAlive(NodeId node, SimTime at) const {
     return at >= down_until_[node];
+  }
+  /// Routable = alive and not behind a network partition. Routers and the
+  /// retry path must use this, not NodeAlive: a partitioned node is alive
+  /// for billing and transitions but must not receive reads.
+  bool NodeRoutable(NodeId node, SimTime at) const {
+    return at >= down_until_[node] && at >= unroutable_until_[node];
+  }
+  /// Time at which `node` is next routable (<= `at` if already routable):
+  /// max of its crash-recovery and partition-heal times.
+  SimTime RoutableUntil(NodeId node) const {
+    return std::max(down_until_[node], unroutable_until_[node]);
   }
   /// Time at which `node` is next alive (<= `at` if already alive);
   /// kNeverRecovers when the node needs repair or explicit recovery.
@@ -170,6 +193,8 @@ class ClusterSim {
     return at < slow_until_[node] ? speed_factor_[node] : 1.0;
   }
   std::size_t LiveNodeCount(SimTime at) const;
+  /// Nodes alive but partitioned (unroutable) at `at`.
+  std::size_t PartitionedNodeCount(SimTime at) const;
 
   /// Total rent accrued through `now` (cents).
   Money AccruedCost(SimTime now) const;
@@ -195,6 +220,9 @@ class ClusterSim {
   std::vector<SimTime> busy_until_;
   /// Node m is dead while t < down_until_[m] (0 = always alive so far).
   std::vector<SimTime> down_until_;
+  /// Node m is partitioned (alive, unroutable) while
+  /// t < unroutable_until_[m] (0 = never partitioned so far).
+  std::vector<SimTime> unroutable_until_;
   /// speed_factor_[m] applies to reads enqueued before slow_until_[m].
   std::vector<SimTime> slow_until_;
   std::vector<double> speed_factor_;

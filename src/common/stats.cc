@@ -56,6 +56,41 @@ double PercentileTracker::Percentile(double p) const {
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
 }
 
+void LogHistogram::Add(double x) {
+  std::size_t i = 0;
+  if (x > kMinValue) {
+    i = 1 + static_cast<std::size_t>(std::log(x / kMinValue) /
+                                     std::log(kGrowth));
+    i = std::min(i, kBuckets - 1);
+  }
+  ++buckets_[i];
+  ++count_;
+  sum_ += x;
+  max_ = std::max(max_, x);
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t cumulative = 0;
+  std::size_t top_occupied = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] > 0) top_occupied = i;
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) > rank) {
+      // The top occupied bucket's upper edge would overshoot the true
+      // maximum; max_ is exact there.
+      if (i == top_occupied) return max_;
+      if (i == 0) return kMinValue;
+      return kMinValue * std::pow(kGrowth, static_cast<double>(i));
+    }
+  }
+  return max_;
+}
+
 double SumSquaredDeviations(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double mean = 0.0;

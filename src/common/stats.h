@@ -1,7 +1,9 @@
 #ifndef NASHDB_COMMON_STATS_H_
 #define NASHDB_COMMON_STATS_H_
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/mutex.h"
@@ -66,6 +68,42 @@ class PercentileTracker {
   mutable Mutex mu_;
   mutable std::vector<double> samples_ NASHDB_GUARDED_BY(mu_);
   mutable bool sorted_ NASHDB_GUARDED_BY(mu_) = false;
+};
+
+/// Bounded log-bucket histogram for streaming percentile estimates:
+/// constant memory at any sample count, unlike PercentileTracker, which
+/// stores every sample (10⁷-query scenario runs would hold 80 MB of
+/// latencies). Buckets are log-spaced with 4% relative width over
+/// [1e-4, ~1e8) plus an underflow bucket, so a reported percentile is
+/// within one bucket (<= 4% relative) of the exact value — plenty for
+/// scenario SLO gates, documented in DESIGN.md §13. Serial like the
+/// driver loop that owns it: no mutex, and copyable so it can live in
+/// RunResult.
+class LogHistogram {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double max() const { return max_; }
+
+  /// Returns an upper bound for the p-th percentile (p in [0, 100]): the
+  /// upper edge of the bucket holding the closest-rank sample (exact max_
+  /// for the top occupied bucket's tail). 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  static constexpr double kMinValue = 1e-4;
+  static constexpr double kGrowth = 1.04;
+  static constexpr std::size_t kBuckets = 720;
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// Exact one-pass sum of squared deviations from the mean for a sample

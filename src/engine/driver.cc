@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
+#include <queue>
 #include <set>
 #include <utility>
 
@@ -145,10 +147,15 @@ class DriverBatchSink : public BatchSink {
 }  // namespace
 
 double RunResult::MeanLatency() const {
+  if (records.empty()) {
+    const std::size_t n = CompletedQueries();
+    return n == 0 ? 0.0
+                  : completed_latency_sum_s / static_cast<double>(n);
+  }
   double sum = 0.0;
   std::size_t n = 0;
   for (const QueryRecord& r : records) {
-    if (r.aborted) continue;
+    if (r.aborted || r.shed) continue;
     sum += r.latency_s;
     ++n;
   }
@@ -156,22 +163,34 @@ double RunResult::MeanLatency() const {
 }
 
 double RunResult::TailLatency(double percentile) const {
+  if (records.empty()) return latency_histogram.Percentile(percentile);
   PercentileTracker tracker;
   for (const QueryRecord& r : records) {
-    if (!r.aborted) tracker.Add(r.latency_s);
+    if (!r.aborted && !r.shed) tracker.Add(r.latency_s);
   }
   return tracker.Percentile(percentile);
 }
 
 double RunResult::MeanSpan() const {
+  if (records.empty()) {
+    const std::size_t n = CompletedQueries();
+    return n == 0 ? 0.0 : completed_span_sum / static_cast<double>(n);
+  }
   double sum = 0.0;
   std::size_t n = 0;
   for (const QueryRecord& r : records) {
-    if (r.aborted) continue;
+    if (r.aborted || r.shed) continue;
     sum += static_cast<double>(r.span);
     ++n;
   }
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double RetryBackoffSeconds(const FaultOptions& faults, std::size_t attempt) {
+  NASHDB_DCHECK(attempt >= 1);
+  return std::min(faults.retry_backoff_s *
+                      std::pow(2.0, static_cast<double>(attempt - 1)),
+                  faults.retry_backoff_cap_s);
 }
 
 std::vector<std::pair<double, double>> RunResult::ThroughputPerMinute()
@@ -193,8 +212,32 @@ std::vector<std::pair<double, double>> RunResult::ThroughputPerMinute()
   return series;
 }
 
-RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
-                      ScanRouter* router, const DriverOptions& options) {
+namespace {
+
+/// Adapter running a materialized Workload through the streaming core.
+class VectorQueryStream : public QueryStream {
+ public:
+  explicit VectorQueryStream(const Workload& workload)
+      : workload_(workload) {}
+
+  bool Next(TimedQuery* out) override {
+    if (next_ >= workload_.queries.size()) return false;
+    *out = workload_.queries[next_++];
+    return true;
+  }
+
+ private:
+  const Workload& workload_;
+  std::size_t next_ = 0;
+};
+
+/// The driver core shared by RunWorkload and RunQueryStream: admits
+/// queries pulled from `stream` in arrival order. `warmup_observe` must
+/// already have been handled by the caller (it needs a second pass over
+/// the workload, which only the vector-backed wrapper has).
+RunResult RunStream(QueryStream* stream, DistributionSystem* system,
+                    ScanRouter* router, const DriverOptions& options) {
+  NASHDB_CHECK(stream != nullptr);
   NASHDB_CHECK(system != nullptr);
   NASHDB_CHECK(router != nullptr);
 
@@ -207,18 +250,29 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     metrics::Registry::Global().Enable();
   }
 
-  if (options.warmup_observe) {
-    for (const TimedQuery& tq : workload.queries) {
-      system->Observe(tq.query);
-    }
-  } else if (options.prewarm_scans > 0) {
+  // Prewarm by buffering the prefix: the prewarmed queries are observed
+  // now (before the bootstrap build) and replayed through the admission
+  // loop below, where they are observed again — the exact double-observe
+  // the materialized path always had. Only the prewarm prefix is ever
+  // buffered, so streaming runs stay constant-memory.
+  std::deque<TimedQuery> lookahead;
+  if (!options.warmup_observe && options.prewarm_scans > 0) {
     std::size_t fed = 0;
-    for (const TimedQuery& tq : workload.queries) {
-      if (fed >= options.prewarm_scans) break;
+    TimedQuery tq;
+    while (fed < options.prewarm_scans && stream->Next(&tq)) {
       system->Observe(tq.query);
       fed += tq.query.scans.size();
+      lookahead.push_back(std::move(tq));
     }
   }
+  const auto next_query = [&](TimedQuery* out) {
+    if (!lookahead.empty()) {
+      *out = std::move(lookahead.front());
+      lookahead.pop_front();
+      return true;
+    }
+    return stream->Next(out);
+  };
 
   // Initial provisioning: build the first configuration and pay for the
   // initial data load (every replica is a fresh copy). The active
@@ -282,6 +336,10 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   // Crash delivery times not yet resolved by a repair/transition, for the
   // faults.time_to_repair_s histogram.
   std::vector<SimTime> pending_crashes;
+  // A partition was delivered and no repair has considered it yet. Unlike
+  // crashes, partitions are never "settled" by an applied transition (the
+  // machine stays partitioned); the flag only arms the repair check.
+  bool pending_partition = false;
   // High-water mark of delivered fault time. The admission loop is
   // monotonic, but an online round kicked at a boundary the workload
   // skipped past (boundary < the admitting query's arrival, which already
@@ -296,6 +354,8 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     bool any = false;
     for (const FaultEvent& ev : fault_sched->AdvanceTo(fault_clock, &sim)) {
       if (ev.type == FaultType::kCrash) pending_crashes.push_back(ev.time);
+      if (ev.type == FaultType::kPartition) pending_partition = true;
+      result.last_fault_time_s = std::max(result.last_fault_time_s, ev.time);
       any = true;
     }
     // Liveness can only change when events are actually delivered (or a
@@ -313,8 +373,20 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     return dead;
   };
 
-  // True if some placed fragment has fewer live replicas than
+  // Alive-but-unroutable nodes (network partitions, DESIGN.md §13).
+  const auto partitioned_bitmap = [&](SimTime at) {
+    const std::size_t n = cur->config().node_count();
+    std::vector<bool> part(n, false);
+    for (NodeId m = 0; m < n; ++m) {
+      part[m] = sim.NodeAlive(m, at) && !sim.NodeRoutable(m, at);
+    }
+    return part;
+  };
+
+  // True if some placed fragment has fewer *routable* replicas than
   // min(placed, repair_min_live) at `at` — the emergency-repair trigger.
+  // Partitioned copies don't count: a fragment whose only homes sit
+  // behind a partition is exactly as unreadable as one on dead nodes.
   const auto coverage_at_risk = [&](SimTime at) {
     const ClusterConfig& config = cur->config();
     for (FlatFragmentId fid = 0; fid < config.fragments().size(); ++fid) {
@@ -322,7 +394,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       if (homes.empty()) continue;  // deliberately unreplicated
       std::size_t live = 0;
       for (NodeId m : homes) {
-        if (sim.NodeAlive(m, at)) ++live;
+        if (sim.NodeRoutable(m, at)) ++live;
       }
       if (live < std::min(homes.size(), options.faults.repair_min_live)) {
         return true;
@@ -384,10 +456,12 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   // and apply the minimal-transfer repair immediately.
   const auto maybe_repair = [&](SimTime at) {
     if (!faults_on || !options.faults.emergency_repair) return;
-    if (pending_crashes.empty()) return;
+    if (pending_crashes.empty() && !pending_partition) return;
     if (!coverage_at_risk(at)) {
-      // Recoveries (or a scheduled transition) already restored coverage.
+      // Recoveries/heals (or a scheduled transition) already restored
+      // coverage.
       settle_repairs(at);
+      pending_partition = false;
       return;
     }
     // A pending online epoch must land first: the repair replaces `cur`
@@ -397,18 +471,21 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       force_publish();
       if (!coverage_at_risk(at)) {
         settle_repairs(at);
+        pending_partition = false;
         return;
       }
     }
     if (collect) metrics::Count("faults.coverage_lost_events");
     const std::vector<bool> dead = dead_bitmap(at);
+    const std::vector<bool> partitioned = partitioned_bitmap(at);
     Result<ClusterConfig> repaired =
-        PlanEmergencyRepair(cur->config(), dead);
+        PlanEmergencyRepair(cur->config(), dead, partitioned);
     if (!repaired.ok()) {
       // Degrade: keep running on the surviving replicas; retries and
       // aborts absorb the gap.
       if (collect) metrics::Count("faults.repair_failures");
       pending_crashes.clear();
+      pending_partition = false;
       return;
     }
     const TransitionPlan plan =
@@ -434,6 +511,28 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
                        sim.LastTransferWindowSeconds());
     }
     settle_repairs(at);
+    pending_partition = false;
+  };
+
+  // Final accounting for one admitted query: the streaming aggregates are
+  // maintained for every run (they are what RunResult's accessors use
+  // when records are dropped); the record vector only when kept.
+  const auto commit_record = [&](const QueryRecord& record) {
+    ++result.total_queries;
+    if (record.shed) {
+      ++result.shed_queries;
+    } else if (record.aborted) {
+      ++result.aborted_queries;
+    } else {
+      result.completed_latency_sum_s += record.latency_s;
+      result.completed_span_sum += static_cast<double>(record.span);
+      result.latency_histogram.Add(record.latency_s);
+    }
+    if (record.shed || record.aborted || record.retries > 0) {
+      result.last_disruption_time_s =
+          std::max(result.last_disruption_time_s, record.arrival);
+    }
+    if (options.keep_records) result.records.push_back(record);
   };
 
   // --- Batched fast path (DESIGN.md §11). Fault-free flat-path runs
@@ -443,8 +542,9 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   // when full and at every reconfiguration boundary, so it never spans a
   // configuration change; the sink commits each scan's reads between
   // scans, keeping the record stream bit-identical to the per-scan path.
+  const bool overload_on = options.overload.Active();
   const bool batched = !options.legacy_query_path && !faults_on &&
-                       options.route_batch_size > 1;
+                       !overload_on && options.route_batch_size > 1;
   ScanBatch block;
   std::vector<std::size_t> scan_slot;  // block scan -> pending slot
   std::vector<SimTime> scan_arrival;   // block scan -> arrival time
@@ -479,7 +579,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
         metrics::Observe("routing.latency_s", pq.record.latency_s);
       }
       result.makespan_s = std::max(result.makespan_s, pq.completion);
-      result.records.push_back(pq.record);
+      commit_record(pq.record);
     }
     pending.clear();
     block.Clear();
@@ -600,7 +700,19 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     };
   }
 
-  for (const TimedQuery& tq : workload.queries) {
+  // In-flight completion times for admission control: popped at each
+  // arrival, so the pending count is exact and purely simulated-time
+  // driven (deterministic at any thread count).
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>>
+      inflight;
+  const std::size_t hard_cap =
+      overload_on ? static_cast<std::size_t>(
+                        options.overload.hard_cap_factor *
+                        static_cast<double>(
+                            options.overload.max_pending_queries))
+                  : 0;
+
+  for (TimedQuery tq; next_query(&tq);) {
     const SimTime now = tq.arrival;
 
     if (online) {
@@ -695,6 +807,28 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     deliver_faults(now);
     maybe_repair(now);
 
+    if (overload_on) {
+      while (!inflight.empty() && inflight.top() <= now) inflight.pop();
+      const std::size_t pending_now = inflight.size();
+      if (pending_now >= options.overload.max_pending_queries &&
+          (pending_now >= hard_cap ||
+           tq.query.price < options.overload.shed_keep_price)) {
+        // Shed at admission: nothing executes and the economy never
+        // observes the query (it never ran). Deterministic drop policy:
+        // price-selective below the hard cap, everything past it.
+        QueryRecord record;
+        record.id = tq.query.id;
+        record.price = tq.query.price;
+        record.arrival = now;
+        record.completion = now;
+        record.epoch = cur->epoch();
+        record.shed = true;
+        commit_record(record);
+        if (collect) metrics::Count("overload.shed_queries");
+        continue;
+      }
+    }
+
     if (!options.warmup_observe) system->Observe(tq.query);
 
     if (batched) {
@@ -773,7 +907,7 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
               req.candidates.erase(
                   std::remove_if(req.candidates.begin(), req.candidates.end(),
                                  [&](NodeId m) {
-                                   return !sim.NodeAlive(m, attempt_time);
+                                   return !sim.NodeRoutable(m, attempt_time);
                                  }),
                   req.candidates.end());
             }
@@ -820,11 +954,15 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
           record.aborted = true;
           break;
         }
-        const double backoff =
-            std::min(options.faults.retry_backoff_s *
-                         std::pow(2.0, static_cast<double>(attempts - 1)),
-                     options.faults.retry_backoff_cap_s);
-        attempt_time += backoff;
+        // Shared per-query pool (when configured): the retry about to be
+        // consumed must still fit, so the budget is exhausted exactly at
+        // the documented bound (record.retries == budget on abort).
+        if (options.faults.query_retry_budget > 0 &&
+            record.retries >= options.faults.query_retry_budget) {
+          record.aborted = true;
+          break;
+        }
+        attempt_time += RetryBackoffSeconds(options.faults, attempts);
         ++record.retries;
         ++result.scan_retries;
         if (collect) metrics::Count("faults.scan_retries");
@@ -840,7 +978,6 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     record.latency_s = completion - now;
     record.span = nodes_used.size();
     if (record.aborted) {
-      ++result.aborted_queries;
       if (collect) metrics::Count("faults.query_aborts");
     } else if (collect) {
       metrics::Count("routing.queries");
@@ -848,9 +985,11 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
       metrics::Observe("routing.latency_s", record.latency_s);
     }
     // Reads enqueued before an abort still occupy their nodes, so the
-    // makespan advances either way.
+    // makespan advances either way — and the query held an admission slot
+    // until its last enqueued read finished.
     result.makespan_s = std::max(result.makespan_s, completion);
-    result.records.push_back(record);
+    if (overload_on) inflight.push(completion);
+    commit_record(record);
   }
   // A build still in flight when the workload ends is published so its
   // transition lands (the stop-the-world path applied every boundary it
@@ -866,14 +1005,27 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
   if (fault_sched) {
     const FaultStats& fs = fault_sched->stats();
     result.crashes = fs.crashes;
+    result.partitions = fs.partitions;
     if (collect) {
       metrics::SetGauge("faults.crashes", static_cast<double>(fs.crashes));
       metrics::SetGauge("faults.recoveries",
                         static_cast<double>(fs.recoveries));
       metrics::SetGauge("faults.slowdowns",
                         static_cast<double>(fs.slowdowns));
+      metrics::SetGauge("faults.partitions",
+                        static_cast<double>(fs.partitions));
+      metrics::SetGauge("faults.heals", static_cast<double>(fs.heals));
       metrics::SetGauge("faults.dropped_events",
                         static_cast<double>(fs.dropped_events));
+      // End-of-run cluster health: dead / partitioned node counts at the
+      // makespan, for machine-readable scenario reports.
+      const double n = static_cast<double>(sim.node_count());
+      metrics::SetGauge(
+          "faults.nodes_dead",
+          n - static_cast<double>(sim.LiveNodeCount(result.makespan_s)));
+      metrics::SetGauge("faults.nodes_partitioned",
+                        static_cast<double>(sim.PartitionedNodeCount(
+                            result.makespan_s)));
     }
   }
   if (collect) {
@@ -881,10 +1033,47 @@ RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
     metrics::SetGauge("sim.final_nodes",
                       static_cast<double>(result.final_nodes));
     metrics::SetGauge("sim.total_cost", result.total_cost);
+    // Robustness outcome gauges (scenario reports, DESIGN.md §13).
+    metrics::SetGauge("driver.total_queries",
+                      static_cast<double>(result.total_queries));
+    metrics::SetGauge("faults.aborted_queries",
+                      static_cast<double>(result.aborted_queries));
+    metrics::SetGauge("faults.scan_retries_total",
+                      static_cast<double>(result.scan_retries));
+    metrics::SetGauge("overload.shed_total",
+                      static_cast<double>(result.shed_queries));
+    metrics::SetGauge("faults.last_fault_time_s", result.last_fault_time_s);
+    metrics::SetGauge("driver.last_disruption_time_s",
+                      result.last_disruption_time_s);
     result.metrics_json = metrics::Registry::Global().SnapshotJson();
     metrics::Registry::Global().Disable();
   }
   return result;
+}
+
+}  // namespace
+
+RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
+                      ScanRouter* router, const DriverOptions& options) {
+  NASHDB_CHECK(system != nullptr);
+  // warmup_observe needs the whole workload before the run — the one
+  // thing a stream cannot replay — so it is handled here and skipped by
+  // the streaming core (which sees the flag only to suppress the
+  // per-admission Observe, same as before).
+  if (options.warmup_observe) {
+    for (const TimedQuery& tq : workload.queries) {
+      system->Observe(tq.query);
+    }
+  }
+  VectorQueryStream stream(workload);
+  return RunStream(&stream, system, router, options);
+}
+
+RunResult RunQueryStream(QueryStream* stream, DistributionSystem* system,
+                         ScanRouter* router, const DriverOptions& options) {
+  NASHDB_CHECK(!options.warmup_observe)
+      << "warmup_observe needs a materialized workload; use prewarm_scans";
+  return RunStream(stream, system, router, options);
 }
 
 }  // namespace nashdb

@@ -8,6 +8,7 @@
 
 #include "cluster/faults.h"
 #include "cluster/sim.h"
+#include "common/stats.h"
 #include "engine/system.h"
 #include "routing/router.h"
 #include "workload/workload.h"
@@ -24,14 +25,25 @@ struct FaultOptions {
   std::uint64_t seed = 0;
 
   /// A scan whose live candidate set is empty (coverage gap) is retried
-  /// with capped exponential backoff: attempt k waits
-  /// min(retry_backoff_s * 2^(k-1), retry_backoff_cap_s). The query
-  /// aborts once a scan exhausts max_scan_retries or the total wait
-  /// exceeds query_timeout_s.
+  /// with capped exponential backoff: retry k of a scan waits
+  /// min(retry_backoff_s * 2^(k-1), retry_backoff_cap_s) — see
+  /// RetryBackoffSeconds(). The query aborts once a scan exhausts
+  /// max_scan_retries or the total wait exceeds query_timeout_s.
   std::size_t max_scan_retries = 4;
   double retry_backoff_s = 2.0;
   double retry_backoff_cap_s = 120.0;
   double query_timeout_s = 900.0;
+
+  /// Shared per-query retry budget (DESIGN.md §13). When > 0, retries of
+  /// *all* scans of one query draw from this single pool: the query
+  /// aborts on the first retry needed after exactly query_retry_budget
+  /// retries have been consumed (QueryRecord::retries == the budget on
+  /// such an abort). The per-scan max_scan_retries cap still applies on
+  /// top. 0 keeps the legacy independent per-scan budgets — under a
+  /// flash crowd hitting a coverage gap, per-scan budgets let one query
+  /// burn scans × max_scan_retries retries; the shared budget bounds the
+  /// whole query.
+  std::size_t query_retry_budget = 0;
 
   /// React to coverage loss by re-replicating at-risk fragments (live
   /// replicas below min(placed, repair_min_live)) onto surviving/fresh
@@ -39,6 +51,40 @@ struct FaultOptions {
   /// normal transfer model. Disable to measure pure degraded operation.
   bool emergency_repair = true;
   std::size_t repair_min_live = 2;
+};
+
+/// Backoff before retry `attempt` (1-based) of one scan: the capped
+/// exponential min(retry_backoff_s * 2^(attempt-1), retry_backoff_cap_s).
+/// Exposed so tests can pin the documented sequence against the driver.
+double RetryBackoffSeconds(const FaultOptions& faults, std::size_t attempt);
+
+/// Overload robustness (DESIGN.md §13): admission control with a bounded
+/// pending-query budget and deterministic load shedding. Inactive (and
+/// bit-identity-neutral) unless max_pending_queries > 0.
+///
+/// The driver tracks in-flight queries by their simulated completion
+/// times (a min-heap popped at each admission), so "pending" is exact and
+/// purely simulated-time-driven — the shed decision replays identically
+/// for a given workload + seed at any thread count. When an arriving
+/// query finds pending >= max_pending_queries it is shed, *unless* its
+/// price is at least shed_keep_price (paying traffic rides out the
+/// crowd) and pending is still below the hard cap
+/// (hard_cap_factor * max_pending_queries), past which everything is
+/// dropped. Shed queries execute nothing, are not Observed (the economy
+/// never saw them run), and are reported via QueryRecord::shed and
+/// RunResult::shed_queries.
+struct OverloadOptions {
+  /// Maximum in-flight (admitted, not yet completed) queries; 0 disables
+  /// admission control entirely.
+  std::size_t max_pending_queries = 0;
+  /// Queries priced >= this survive soft shedding (0 keeps everything
+  /// until the hard cap).
+  Money shed_keep_price = 0.0;
+  /// Hard cap multiplier: at pending >= hard_cap_factor *
+  /// max_pending_queries even high-priced queries are shed.
+  double hard_cap_factor = 2.0;
+
+  bool Active() const { return max_pending_queries > 0; }
 };
 
 /// Knobs of one simulated end-to-end run.
@@ -87,6 +133,19 @@ struct DriverOptions {
 
   /// Fault injection + failure handling; inactive by default.
   FaultOptions faults;
+
+  /// Admission control + load shedding; inactive by default. An active
+  /// overload policy forces the per-scan query path (like faults do): the
+  /// batched path doesn't know completion times until it flushes, and the
+  /// shed decision needs the exact in-flight count at each arrival.
+  OverloadOptions overload;
+
+  /// Keep the per-query records on RunResult::records. Disable for
+  /// streaming scenario runs (10⁷–10⁸ queries) so memory stays constant:
+  /// the aggregate fields (total/aborted/shed counts, latency sums and
+  /// the bounded latency histogram) are maintained either way and the
+  /// RunResult accessors fall back to them when records are empty.
+  bool keep_records = true;
 
   /// Route scans through the seed (allocating) query path — fresh request
   /// vectors per scan, an unconditional filtered copy per retry, a full
@@ -149,11 +208,21 @@ struct QueryRecord {
   /// aggregates; completion covers only the reads enqueued before the
   /// abort.
   bool aborted = false;
+  /// True if admission control dropped the query at arrival (overload
+  /// shedding, DESIGN.md §13). Shed queries execute nothing: zero reads,
+  /// zero latency, never counted as aborted.
+  bool shed = false;
 };
 
 /// Aggregated outcome of one run.
 struct RunResult {
+  /// Per-query records in admission order; empty when
+  /// DriverOptions::keep_records is false (streaming runs). All the
+  /// count/latency aggregates below are maintained independently of this
+  /// vector.
   std::vector<QueryRecord> records;
+  /// Every query the run saw: completed + aborted + shed.
+  std::size_t total_queries = 0;
   Money total_cost = 0.0;               // cents of rent accrued
   TupleCount transferred_tuples = 0;    // transition data movement
   /// Portion of transferred_tuples spent loading the initial
@@ -176,27 +245,47 @@ struct RunResult {
   double reconfig_stall_s = 0.0;
   /// Fault-run outcomes (all zero when FaultOptions is inactive).
   std::size_t crashes = 0;
+  std::size_t partitions = 0;
   std::size_t aborted_queries = 0;
   std::size_t scan_retries = 0;
+  /// Queries dropped by admission control (OverloadOptions).
+  std::size_t shed_queries = 0;
   std::size_t emergency_repairs = 0;
   /// Transfer volume spent restoring lost replicas (included in
   /// transferred_tuples).
   TupleCount repair_transfer_tuples = 0;
+  /// Simulated time of the last delivered fault event (-1 = none). With
+  /// last_disruption_time_s this feeds the scenario runner's
+  /// recovery-time SLO: how long after the last fault the workload kept
+  /// degrading (aborts, sheds, retries).
+  SimTime last_fault_time_s = -1.0;
+  /// Arrival time of the last disrupted query — aborted, shed, or
+  /// retried (-1 = none).
+  SimTime last_disruption_time_s = -1.0;
+  /// Streaming latency/span aggregates over completed queries,
+  /// maintained for every run (they are what the accessors below use
+  /// when `records` is empty). The histogram gives bounded-memory
+  /// percentiles within 4% relative error (LogHistogram).
+  double completed_latency_sum_s = 0.0;
+  double completed_span_sum = 0.0;
+  LogHistogram latency_histogram;
   /// JSON snapshot of the metrics registry at run end (counters, gauges,
   /// histograms, per-reconfiguration traces); empty when
   /// DriverOptions::collect_metrics was false. Schema: DESIGN.md
   /// "Observability".
   std::string metrics_json;
 
-  /// Latency/span aggregates over *completed* queries (aborted records
-  /// are skipped — an abort has no meaningful latency).
+  /// Latency/span aggregates over *completed* queries (aborted and shed
+  /// records are skipped — neither has a meaningful latency). Exact
+  /// (record-based) when records were kept; streaming-aggregate-based
+  /// (TailLatency: bucketed, <= 4% relative error) otherwise.
   double MeanLatency() const;
   double TailLatency(double percentile) const;
   double MeanSpan() const;
 
-  /// Queries that ran to completion (records minus aborted).
+  /// Queries that ran to completion.
   std::size_t CompletedQueries() const {
-    return records.size() - aborted_queries;
+    return total_queries - aborted_queries - shed_queries;
   }
 
   /// Tuples read per minute-bucket of completion time (the paper's Fig. 11
@@ -219,6 +308,17 @@ struct RunResult {
 /// after the bootstrap, every periodic round, and every emergency repair.
 RunResult RunWorkload(const Workload& workload, DistributionSystem* system,
                       ScanRouter* router, const DriverOptions& options);
+
+/// Streaming twin of RunWorkload (QueryStream lives in
+/// workload/workload.h next to TimedQuery): identical admission loop (a
+/// vector-backed stream produces a bit-identical QueryRecord stream —
+/// RunWorkload is implemented on top of this), but queries are pulled
+/// from `stream` one at a time. `warmup_observe` is unsupported here (it
+/// needs a second pass over the workload; use prewarm_scans, which
+/// buffers only the prewarmed prefix); combine with
+/// DriverOptions::keep_records = false for constant-memory runs.
+RunResult RunQueryStream(QueryStream* stream, DistributionSystem* system,
+                         ScanRouter* router, const DriverOptions& options);
 
 }  // namespace nashdb
 

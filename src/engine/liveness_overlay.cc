@@ -6,11 +6,11 @@ namespace nashdb {
 
 void LivenessOverlay::SyncFrom(const ClusterSim& sim) {
   const std::size_t n = sim.node_count();
-  down_until_.resize(n);
-  max_down_until_ = 0.0;
+  routable_until_.resize(n);
+  max_routable_until_ = 0.0;
   for (NodeId m = 0; m < n; ++m) {
-    down_until_[m] = sim.DownUntil(m);
-    max_down_until_ = std::max(max_down_until_, down_until_[m]);
+    routable_until_[m] = sim.RoutableUntil(m);
+    max_routable_until_ = std::max(max_routable_until_, routable_until_[m]);
   }
 }
 

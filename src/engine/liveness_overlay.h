@@ -9,43 +9,51 @@
 
 namespace nashdb {
 
-/// Driver-owned mirror of the sim's per-node downtime state, refreshed
-/// only when that state can actually change — fault/recovery event
+/// Driver-owned mirror of the sim's per-node *routability* state —
+/// RoutableUntil = max(crash recovery, partition heal) — refreshed only
+/// when that state can actually change — fault/recovery/partition event
 /// delivery and applied transitions — instead of re-deriving liveness for
 /// every retry of every scan (DESIGN.md §10).
 ///
 /// The payoff is the O(1) AnyDeadAt fast path: in the common case where
-/// every node is alive at the attempt time, the driver routes directly on
-/// the unfiltered candidate spans and no per-scan filtering (or copying)
-/// happens at all. Only when some node is genuinely down at the attempt
-/// time does FilterLive materialize a live-candidates view.
+/// every node is routable at the attempt time, the driver routes directly
+/// on the unfiltered candidate spans and no per-scan filtering (or
+/// copying) happens at all. Only when some node is dead or partitioned at
+/// the attempt time does FilterLive materialize a routable-candidates
+/// view. Partitioned nodes are filtered exactly like dead ones here
+/// (observer-relative liveness, DESIGN.md §13): a router must not send a
+/// read behind a partition even though the node is alive for billing.
 ///
-/// Liveness is time-indexed exactly like ClusterSim: node m is dead at
-/// `at` while at < down_until[m], so scheduled recoveries are visible to
-/// future-time retry attempts without any new event delivery.
+/// Routability is time-indexed exactly like ClusterSim: node m is
+/// unroutable at `at` while at < routable_until[m], so scheduled
+/// recoveries *and* scheduled heals are visible to future-time retry
+/// attempts without any new event delivery.
 class LivenessOverlay {
  public:
-  /// Re-reads every node's downtime from the sim. O(node_count); call
-  /// after delivering fault events and after any applied transition (both
-  /// rare relative to scans).
+  /// Re-reads every node's routable-from time from the sim.
+  /// O(node_count); call after delivering fault events and after any
+  /// applied transition (both rare relative to scans).
   void SyncFrom(const ClusterSim& sim);
 
-  /// True if at least one node is dead at `at`. O(1).
-  bool AnyDeadAt(SimTime at) const { return at < max_down_until_; }
+  /// True if at least one node is dead or partitioned at `at`. O(1).
+  bool AnyDeadAt(SimTime at) const { return at < max_routable_until_; }
 
-  bool AliveAt(NodeId m, SimTime at) const { return at >= down_until_[m]; }
+  bool AliveAt(NodeId m, SimTime at) const {
+    return at >= routable_until_[m];
+  }
 
-  /// Rewrites `src` into `dst`, keeping only candidates alive at `at`.
+  /// Rewrites `src` into `dst`, keeping only candidates routable at `at`.
   /// The request list itself (order, frag, tuples, request indices) is
-  /// preserved; a request whose replicas are all dead keeps an empty
-  /// candidate span, which routers report as FailedPrecondition.
+  /// preserved; a request whose replicas are all dead or partitioned
+  /// keeps an empty candidate span, which routers report as
+  /// FailedPrecondition.
   void FilterLive(const ScanScratch& src, SimTime at,
                   ScanScratch* dst) const;
 
  private:
-  std::vector<SimTime> down_until_;
-  /// Max over down_until_: no node is dead at any `at` >= this.
-  SimTime max_down_until_ = 0.0;
+  std::vector<SimTime> routable_until_;
+  /// Max over routable_until_: every node routable at `at` >= this.
+  SimTime max_routable_until_ = 0.0;
 };
 
 }  // namespace nashdb

@@ -306,6 +306,15 @@ ShardedRunResult RunShardedImpl(
     merged.read_tuples += sr.read_tuples;
     merged.makespan_s = std::max(merged.makespan_s, sr.makespan_s);
   }
+  // The sharded plane runs fault-free with records always kept, so the
+  // merged stream is complete; the streaming aggregates mirror it for
+  // accessor parity with the serial driver.
+  merged.total_queries = merged.records.size();
+  for (const QueryRecord& r : merged.records) {
+    merged.completed_latency_sum_s += r.latency_s;
+    merged.completed_span_sum += static_cast<double>(r.span);
+    merged.latency_histogram.Add(r.latency_s);
+  }
 
   // Billing replay over the published chain (the producer is done, so a
   // relaxed walk suffices). Activations never exceed the makespan: a link

@@ -42,6 +42,7 @@
 #include "replication/packer.h"
 #include "replication/replication.h"
 #include "routing/router.h"
+#include "scenario/scenario.h"
 #include "storage/storage_cluster.h"
 #include "storage/table.h"
 #include "transition/hungarian.h"
@@ -49,6 +50,7 @@
 #include "value/estimator.h"
 #include "value/value_profile.h"
 #include "value/value_tree.h"
+#include "workload/streaming.h"
 #include "workload/synthetic.h"
 #include "workload/tpch.h"
 #include "workload/workload.h"

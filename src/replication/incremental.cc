@@ -81,13 +81,23 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
     return m < prev_nodes && m < options.unavailable_prev_nodes.size() &&
            options.unavailable_prev_nodes[m];
   };
+  // Pinned = partitioned: alive but unroutable (a node both marked dead
+  // and pinned is treated as dead).
+  const auto pinned = [&](std::size_t m) {
+    return m < prev_nodes && m < options.pinned_prev_nodes.size() &&
+           options.pinned_prev_nodes[m] && !unavailable(m);
+  };
   // Crashed previous nodes contribute no coverage and take no placements:
-  // they finish the repack empty, which decommissions them in elastic mode.
+  // they finish the repack empty, which decommissions them in elastic
+  // mode. Pinned (partitioned) nodes also contribute no *routable*
+  // coverage — their copies must not satisfy replica targets — but keep
+  // their placements (pre-seeded below).
   std::vector<NodeIntervals> coverage;
   coverage.reserve(prev_nodes);
   for (NodeId m = 0; m < prev_nodes; ++m) {
-    coverage.push_back(unavailable(m) ? NodeIntervals()
-                                      : IntervalsOf(*previous, m));
+    coverage.push_back(unavailable(m) || pinned(m)
+                           ? NodeIntervals()
+                           : IntervalsOf(*previous, m));
   }
 
   // Working placement state. Slots beyond prev_nodes are fresh nodes.
@@ -99,6 +109,23 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
     for (auto& h : holds) h.resize(nodes, false);
   };
   holds.assign(fragments.size(), std::vector<bool>(prev_nodes, false));
+
+  // Pre-seed pinned nodes with their previous placements (carried by
+  // fragment index — see the pinned_prev_nodes contract). These copies
+  // exist and are billed, but do not count toward routable replica
+  // targets tracked in `achieved`.
+  std::vector<std::size_t> pinned_copies(fragments.size(), 0);
+  for (NodeId m = 0; m < prev_nodes; ++m) {
+    if (!pinned(m)) continue;
+    for (FlatFragmentId fid : previous->NodeFragments(m)) {
+      NASHDB_CHECK_LT(fid, fragments.size())
+          << "pinned_prev_nodes requires fragments identical to previous's";
+      node_frags[m].push_back(fid);
+      node_used[m] += fragments[fid].size();
+      holds[fid][m] = true;
+      ++pinned_copies[fid];
+    }
+  }
 
   // Hot fragments first, so they keep their previous homes even if the
   // cluster is shrinking.
@@ -151,7 +178,7 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
     while (placed < count) {
       std::size_t best = node_frags.size();
       for (std::size_t m = 0; m < node_frags.size(); ++m) {
-        if (unavailable(m) || holds[idx][m] ||
+        if (unavailable(m) || pinned(m) || holds[idx][m] ||
             node_used[m] + f.size() > params.node_disk) {
           continue;
         }
@@ -194,7 +221,9 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
         place_replicas(idx, fragments[idx].replicas - achieved[idx]);
   }
   for (std::size_t idx = 0; idx < fragments.size(); ++idx) {
-    fragments[idx].replicas = achieved[idx];
+    // Total copies in the configuration: routable placements plus the
+    // copies stranded behind partitions on pinned nodes.
+    fragments[idx].replicas = achieved[idx] + pinned_copies[idx];
   }
 
   // Elastic consolidation: when demand fell, incremental reuse can leave
@@ -214,10 +243,11 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
       if (!frags.empty()) ++live;
     }
     while (live > target) {
-      // Emptiest non-empty node.
+      // Emptiest non-empty node. Pinned nodes are never evacuated: they
+      // stay rented regardless, so consolidation buys nothing there.
       std::size_t victim = node_frags.size();
       for (std::size_t m = 0; m < node_frags.size(); ++m) {
-        if (node_frags[m].empty()) continue;
+        if (node_frags[m].empty() || pinned(m)) continue;
         if (victim == node_frags.size() ||
             node_used[m] < node_used[victim]) {
           victim = m;
@@ -230,7 +260,7 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
       for (FlatFragmentId fid : node_frags[victim]) {
         std::size_t dest = node_frags.size();
         for (std::size_t m = 0; m < node_frags.size(); ++m) {
-          if (m == victim || node_frags[m].empty()) continue;
+          if (m == victim || node_frags[m].empty() || pinned(m)) continue;
           if (holds[fid][m] ||
               node_used[m] + fragments[fid].size() > params.node_disk) {
             continue;
@@ -281,14 +311,18 @@ Result<ClusterConfig> RepackIncremental(const ReplicationParams& params,
   return BuildConfigFromPlacement(params, std::move(fragments), final_nodes);
 }
 
-Result<ClusterConfig> PlanEmergencyRepair(const ClusterConfig& config,
-                                          const std::vector<bool>& node_dead) {
+Result<ClusterConfig> PlanEmergencyRepair(
+    const ClusterConfig& config, const std::vector<bool>& node_dead,
+    const std::vector<bool>& node_partitioned) {
   IncrementalOptions options;
   options.max_nodes = 0;  // elastic: replacements may be provisioned
   options.unavailable_prev_nodes = node_dead;
+  options.pinned_prev_nodes = node_partitioned;
   // Same target fragments and replica counts; only the placement changes.
   // Live replicas are reused via interval containment, so the repair
   // transition copies exactly the lost replicas (plus any consolidation).
+  // Partitioned nodes are pinned: kept intact and billed while routable
+  // copies are restored elsewhere.
   return RepackIncremental(config.params(), config.fragments(), &config,
                            options);
 }

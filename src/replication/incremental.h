@@ -22,6 +22,19 @@ struct IncrementalOptions {
   /// is decommissioned (the transition planner then matches its
   /// replacement as a fresh provision).
   std::vector<bool> unavailable_prev_nodes;
+
+  /// Previous nodes that are alive but unroutable (network-partitioned,
+  /// DESIGN.md §13). Indexed like `unavailable_prev_nodes`. A pinned node
+  /// keeps exactly its previous placements (it is still rented and its
+  /// data is intact — decommissioning or evacuating it would buy
+  /// nothing), but contributes no *routable* coverage: its copies do not
+  /// count toward replica targets, it receives no new placements, and it
+  /// is excluded from elastic consolidation. Repair therefore places
+  /// additional routable copies elsewhere while the partition lasts.
+  /// Requires `fragments` to be the same list as `previous`'s (placements
+  /// are carried by fragment index); only the emergency-repair path sets
+  /// this.
+  std::vector<bool> pinned_prev_nodes;
 };
 
 /// Placement that minimizes churn across reconfigurations. A fresh
@@ -59,11 +72,18 @@ Result<ClusterConfig> RepackIncremental(
 /// already on live nodes stay put, so the §7 transition prices only the
 /// lost copies; those are re-copied from the durable base store (dead
 /// nodes are priced as empty by the failure-aware PlanTransition), which
-/// is what makes even zero-live-replica fragments restorable. Returns the
-/// repaired configuration; fails only if fragments cannot fit (bubbled up
-/// from RepackIncremental).
-Result<ClusterConfig> PlanEmergencyRepair(const ClusterConfig& config,
-                                          const std::vector<bool>& node_dead);
+/// is what makes even zero-live-replica fragments restorable.
+///
+/// `node_partitioned` (optional, same indexing) marks alive-but-unroutable
+/// nodes: they are *pinned* — kept in place with their data, still billed
+/// — while enough extra routable copies are placed elsewhere to restore
+/// each fragment's routable replica count (observer-relative partition
+/// semantics, DESIGN.md §13). A node both dead and partitioned is treated
+/// as dead. Returns the repaired configuration; fails only if fragments
+/// cannot fit (bubbled up from RepackIncremental).
+Result<ClusterConfig> PlanEmergencyRepair(
+    const ClusterConfig& config, const std::vector<bool>& node_dead,
+    const std::vector<bool>& node_partitioned = {});
 
 }  // namespace nashdb
 

@@ -1,0 +1,164 @@
+#include "workload/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/query.h"
+
+namespace nashdb {
+namespace {
+
+constexpr double kPi = 3.14159265358979;
+
+bool PhaseActive(const StreamPhase& p, SimTime t) {
+  return t >= p.start_s && (p.end_s <= 0.0 || t < p.end_s);
+}
+
+/// Exponential(1) draw: -ln(1 - u) with u in [0, 1).
+double Exp1(Rng* rng) { return -std::log(1.0 - rng->NextDouble()); }
+
+}  // namespace
+
+PhasedQueryStream::PhasedQueryStream(const PhasedStreamOptions& options)
+    : opt_(options), rng_(options.seed) {
+  NASHDB_CHECK_GT(opt_.duration_s, 0.0);
+  NASHDB_CHECK_GT(opt_.num_queries, 0u);
+  TableSpec spec;
+  spec.id = 0;
+  spec.name = "fact";
+  spec.tuples = static_cast<TupleCount>(
+      opt_.db_gb * static_cast<double>(opt_.tuples_per_gb));
+  NASHDB_CHECK_GT(spec.tuples, 0u);
+  dataset_.tables.push_back(spec);
+  table_tuples_ = spec.tuples;
+}
+
+double PhasedQueryStream::RateMultiplier(SimTime t) const {
+  double rate = 1.0;
+  for (const StreamPhase& p : opt_.phases) {
+    if (!PhaseActive(p, t)) continue;
+    if (p.kind == StreamPhase::Kind::kDiurnal) {
+      rate *= 1.0 + p.amplitude * std::sin(2.0 * kPi * t / p.period_s);
+    } else if (p.kind == StreamPhase::Kind::kFlashCrowd) {
+      rate *= p.rate_x;
+    }
+  }
+  // A diurnal trough can dip near zero; floor the rate so inter-arrival
+  // gaps stay finite.
+  return std::max(rate, 0.05);
+}
+
+double PhasedQueryStream::HotCenter(SimTime t) const {
+  double center = opt_.hot_center;
+  for (const StreamPhase& p : opt_.phases) {
+    if (p.kind != StreamPhase::Kind::kSkewDrift) continue;
+    if (t < p.start_s) continue;
+    const SimTime end = p.end_s > 0.0 ? p.end_s : opt_.duration_s;
+    const double frac =
+        end > p.start_s
+            ? std::clamp((t - p.start_s) / (end - p.start_s), 0.0, 1.0)
+            : 1.0;
+    // Linear drift from wherever the previous phases left the center; a
+    // completed drift phase keeps contributing its endpoint.
+    center += frac * (p.drift_to - center);
+  }
+  return std::clamp(center, 0.0, 1.0);
+}
+
+const StreamPhase* PhasedQueryStream::ActiveCrowd(SimTime t) const {
+  for (const StreamPhase& p : opt_.phases) {
+    if (p.kind == StreamPhase::Kind::kFlashCrowd && PhaseActive(p, t)) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+const StreamPhase* PhasedQueryStream::ActiveWar(SimTime t) const {
+  for (const StreamPhase& p : opt_.phases) {
+    if (p.kind == StreamPhase::Kind::kPriceWar && PhaseActive(p, t)) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+bool PhasedQueryStream::Next(TimedQuery* out) {
+  if (emitted_ >= opt_.num_queries) return false;
+
+  // Arrival: exponential inter-arrival around the base gap, shortened by
+  // the instantaneous rate multiplier (evaluated at the previous arrival —
+  // a standard quasi-inhomogeneous-Poisson step that keeps generation
+  // O(1) and strictly forward in time).
+  const double base_gap =
+      opt_.duration_s / static_cast<double>(opt_.num_queries);
+  clock_ += base_gap * Exp1(&rng_) / RateMultiplier(clock_);
+  const SimTime t = clock_;
+
+  // Scan placement: flash-crowd focus region first, then the (possibly
+  // drifted) hot region, else uniform.
+  const TupleCount n = table_tuples_;
+  double lo_frac = 0.0;
+  double hi_frac = 1.0;
+  const StreamPhase* crowd = ActiveCrowd(t);
+  if (crowd != nullptr && rng_.Bernoulli(crowd->focus_prob)) {
+    lo_frac = std::clamp(crowd->focus_lo, 0.0, 1.0);
+    hi_frac = std::clamp(crowd->focus_hi, lo_frac, 1.0);
+  } else if (rng_.Bernoulli(opt_.hot_prob)) {
+    const double center = HotCenter(t);
+    lo_frac = std::clamp(center - opt_.hot_frac / 2.0, 0.0, 1.0);
+    hi_frac = std::clamp(center + opt_.hot_frac / 2.0, lo_frac, 1.0);
+  }
+
+  // Scan length: exponential with mean scan_frac of the table, at least
+  // one block-ish sliver (tuples_per_gb) so Eq. 1's per-tuple price never
+  // explodes on a degenerate scan.
+  const TupleCount min_len =
+      std::min<TupleCount>(n, std::max<TupleCount>(1, opt_.tuples_per_gb));
+  TupleCount len = static_cast<TupleCount>(
+      opt_.scan_frac * static_cast<double>(n) * Exp1(&rng_));
+  len = std::clamp<TupleCount>(len, min_len, n);
+
+  const auto region_lo = static_cast<TupleIndex>(
+      lo_frac * static_cast<double>(n));
+  const auto region_hi = static_cast<TupleIndex>(
+      hi_frac * static_cast<double>(n));
+  const TupleIndex start_max =
+      region_hi > region_lo + len ? region_hi - len : region_lo;
+  const TupleIndex start =
+      start_max > region_lo
+          ? rng_.UniformRange(region_lo, start_max + 1)
+          : region_lo;
+  const TupleIndex end = std::min<TupleIndex>(start + len, n);
+
+  Money price = opt_.price;
+  const StreamPhase* war = ActiveWar(t);
+  if (war != nullptr && rng_.Bernoulli(war->tenant_frac)) {
+    price *= war->price_x;
+  }
+
+  out->arrival = t;
+  out->query = MakeQuery(static_cast<QueryId>(emitted_), price,
+                         {{0, TupleRange{start, end}}});
+  ++emitted_;
+  return true;
+}
+
+void PhasedQueryStream::Reset() {
+  rng_.Seed(opt_.seed);
+  emitted_ = 0;
+  clock_ = 0.0;
+}
+
+Workload PhasedQueryStream::Materialize() const {
+  PhasedQueryStream fresh(opt_);
+  Workload wl;
+  wl.name = "phased";
+  wl.dataset = fresh.dataset();
+  TimedQuery tq;
+  while (fresh.Next(&tq)) wl.queries.push_back(tq);
+  return wl;
+}
+
+}  // namespace nashdb

@@ -1,0 +1,124 @@
+#ifndef NASHDB_WORKLOAD_STREAMING_H_
+#define NASHDB_WORKLOAD_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "workload/workload.h"
+
+namespace nashdb {
+
+/// One workload phase of a chaos scenario (DESIGN.md §13): a time window
+/// during which the base query stream is modulated. Phases compose — a
+/// diurnal cycle can underlie a flash crowd — and every effect is a pure
+/// function of simulated time plus the stream's seeded Rng, so the
+/// generated stream is bit-reproducible.
+struct StreamPhase {
+  enum class Kind {
+    kDiurnal,     ///< Arrival rate swings sinusoidally around the base.
+    kFlashCrowd,  ///< Rate multiplied by rate_x; arrivals pile onto
+                  ///< [focus_lo, focus_hi) of the table.
+    kSkewDrift,   ///< The hot region's center drifts linearly to drift_to.
+    kPriceWar,    ///< A tenant_frac share of queries bids price_x the base
+                  ///< price (tenants outbidding each other for replicas).
+  };
+  Kind kind = Kind::kDiurnal;
+
+  /// Active window in simulated seconds ([start_s, end_s); end_s <= 0
+  /// means "until the end of the run").
+  SimTime start_s = 0.0;
+  SimTime end_s = -1.0;
+
+  /// kDiurnal: period of the cycle and relative amplitude in [0, 1) —
+  /// the instantaneous rate multiplier is 1 + amplitude * sin(2π t / T).
+  double period_s = 24.0 * 3600.0;
+  double amplitude = 0.5;
+
+  /// kFlashCrowd: arrival-rate multiplier while active, the table
+  /// fraction the crowd piles onto, and the probability an arriving
+  /// query belongs to the crowd.
+  double rate_x = 4.0;
+  double focus_lo = 0.9;
+  double focus_hi = 1.0;
+  double focus_prob = 0.9;
+
+  /// kSkewDrift: hot-region center (fraction of the table) this phase
+  /// drifts to, linearly over [start_s, end_s).
+  double drift_to = 0.2;
+
+  /// kPriceWar: price multiplier and the share of queries that bid it.
+  double price_x = 8.0;
+  double tenant_frac = 0.3;
+};
+
+/// Options of the streaming phased workload generator.
+struct PhasedStreamOptions {
+  double db_gb = 100.0;
+  TupleCount tuples_per_gb = kDefaultTuplesPerGb;
+  /// Total queries the stream produces before Next() returns false.
+  std::size_t num_queries = 10'000;
+  Money price = 1.0;
+  /// Nominal span of the run: the base inter-arrival time is
+  /// duration_s / num_queries (modulated by phases, so the realized
+  /// makespan tracks the phase schedule).
+  SimTime duration_s = 24.0 * 3600.0;
+  /// Baseline skew: a hot_prob share of queries scans a region
+  /// hot_frac of the table wide centered at hot_center (fractions of
+  /// the clustered order); the rest scan uniformly.
+  double hot_prob = 0.8;
+  double hot_frac = 0.2;
+  double hot_center = 0.8;
+  /// Mean scan length as a fraction of the table (exponential draw,
+  /// capped at the table).
+  double scan_frac = 0.05;
+  std::uint64_t seed = 23;
+  std::vector<StreamPhase> phases;
+};
+
+/// Streaming synthetic workload (DESIGN.md §13): generates TimedQuery
+/// values one at a time in nondecreasing arrival order, holding O(1)
+/// state — a 10⁷–10⁸-query scenario run never materializes its workload.
+/// The sequence is a pure function of the options (seeded Rng), so two
+/// streams built from equal options produce bit-identical queries;
+/// Materialize() captures the same sequence as a Workload for
+/// golden-equivalence tests against the vector-driven driver path.
+class PhasedQueryStream : public QueryStream {
+ public:
+  explicit PhasedQueryStream(const PhasedStreamOptions& options);
+
+  /// The single-table schema the stream scans.
+  const Dataset& dataset() const { return dataset_; }
+
+  bool Next(TimedQuery* out) override;
+
+  /// Restarts the stream from query 0 (identical sequence).
+  void Reset();
+
+  /// Runs a fresh stream with the same options to completion into a
+  /// Workload (for tests and the flag-driven bit-identity gate; defeats
+  /// the purpose at 10⁷ queries).
+  Workload Materialize() const;
+
+ private:
+  /// Instantaneous arrival-rate multiplier at t (diurnal x flash crowd).
+  double RateMultiplier(SimTime t) const;
+  /// Hot-region center at t (after any active/completed skew drift).
+  double HotCenter(SimTime t) const;
+  /// Flash-crowd phase active at t, or nullptr.
+  const StreamPhase* ActiveCrowd(SimTime t) const;
+  /// Price-war phase active at t, or nullptr.
+  const StreamPhase* ActiveWar(SimTime t) const;
+
+  PhasedStreamOptions opt_;
+  Dataset dataset_;
+  TupleCount table_tuples_ = 0;
+  Rng rng_;
+  std::size_t emitted_ = 0;
+  SimTime clock_ = 0.0;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_WORKLOAD_STREAMING_H_

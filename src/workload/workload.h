@@ -45,6 +45,17 @@ struct Workload {
   void SortByArrival();
 };
 
+/// Pull-based query source for streaming runs (DESIGN.md §13): queries
+/// are produced on demand in nondecreasing arrival order, so a
+/// 10⁷–10⁸-query scenario never materializes its workload.
+/// Implementations are consumed serially (by the driver loop).
+class QueryStream {
+ public:
+  virtual ~QueryStream() = default;
+  /// Produces the next query; false at end of stream (`*out` untouched).
+  virtual bool Next(TimedQuery* out) = 0;
+};
+
 /// Scales used across the synthetic workloads: `tuples_per_gb` maps the
 /// paper's dataset sizes (expressed in GB/TB) onto simulated tuple counts.
 /// The default models 1 GB as 10k tuples, so a "1 TB" TPC-H fact table is

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Repo health check: builds and runs the tier-1 suite in a plain build,
-# then again under each sanitizer — thread (data races in the
-# multithreaded reconfiguration pipeline), address (heap errors in the
-# fault-injection / retry paths), and undefined (UB anywhere).
+# Repo health check: builds and runs the tier-1 suite plus the chaos
+# scenario gates (ctest -L scenario, DESIGN.md 13) in a plain build,
+# then the tier-1 suite again under each sanitizer — thread (data races
+# in the multithreaded reconfiguration pipeline; also one full scenario
+# run), address (heap errors in the fault-injection / retry paths), and
+# undefined (UB anywhere).
 #
 # Usage: tools/check.sh [--quick | --static | --bench-smoke]
 #   --quick    in the sanitizer passes, run only the targeted labels
@@ -161,6 +163,15 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build -L tier1 --no-tests=error --output-on-failure \
       -j "${JOBS}"
 
+# Chaos-scenario acceptance gates (DESIGN.md 13): every committed
+# scenarios/*.scn spec end to end through nashdb_sim --scenario,
+# including the negative SLO gate and the malformed-spec gate. JSON
+# reports land in build/scenario_reports/ (CI uploads them).
+echo
+echo "== scenario gates (ctest -L scenario) =="
+ctest --test-dir build -L scenario --no-tests=error --output-on-failure \
+      -j "${JOBS}"
+
 # sanitized_pass NAME SANITIZE_VALUE QUICK_LABEL [ENV=VAL ...]
 sanitized_pass() {
   local name="$1" sanitize="$2" quick_label="$3"
@@ -203,6 +214,17 @@ echo "== TSan online-reconfig run (--online-reconfig --faults --shards=4) =="
     --faults='crash@7200:n0:for=1800;mttf=43200;mttr=3600' \
     --shards=4 --batch=64 >/dev/null
 echo "online reconfiguration: clean under TSan"
+
+# One full chaos scenario under TSan: correlated rack failure with
+# emergency repair — fault delivery, coverage-gap retries, and repair
+# transitions all race the reconfiguration thread pool here and nowhere
+# in the single-threaded tier-1 tests. (streaming_10m is deliberately
+# not run under TSan; its 10^7 queries would take tens of minutes.)
+echo
+echo "== TSan scenario run (rack_failure.scn) =="
+./build-tsan/tools/nashdb_sim --scenario=scenarios/rack_failure.scn \
+    >/dev/null
+echo "scenario engine: clean under TSan"
 
 sanitized_pass asan address faults ASAN_OPTIONS=halt_on_error=1
 sanitized_pass ubsan undefined faults \

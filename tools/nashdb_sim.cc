@@ -40,6 +40,8 @@ struct Flags {
   bool adaptive = false;
   std::string metrics_path;         // write the metrics snapshot here
   std::string faults;               // fault scenario spec (empty = none)
+  std::string scenario;             // scenario spec file (empty = flags)
+  std::string report_path;          // write the scenario JSON report here
   std::uint64_t seed = 0;           // seed for all stochastic components
   bool no_repair = false;           // disable emergency re-replication
   std::size_t shards = 1;           // driver shards (1 = serial driver)
@@ -130,8 +132,22 @@ void PrintHelp() {
       "  --no-repair        disable emergency re-replication (measure pure\n"
       "                     degraded operation)\n"
       "\n"
-      "Exit codes: 0 ok; 1 I/O error; 2 bad flags; 3 at least one query\n"
-      "aborted (retry budget / timeout exhausted under faults).\n");
+      "Chaos scenarios (DESIGN.md 13):\n"
+      "  --scenario=FILE    run a declarative scenario spec (INI-subset:\n"
+      "                     [scenario]/[topology]/[workload]/[phase]/\n"
+      "                     [faults]/[overload]/[driver]/[assert]; see\n"
+      "                     scenarios/*.scn and src/scenario/scenario.h).\n"
+      "                     Replaces every workload/system flag above;\n"
+      "                     per-scenario SLO assertions are evaluated at\n"
+      "                     the end of the run\n"
+      "  --report=PATH      write the per-scenario JSON report\n"
+      "\n"
+      "Exit codes: 0 ok; 1 I/O error; 2 bad flags or malformed\n"
+      "--faults/--scenario spec (the message names the bad token and the\n"
+      "expected grammar); 3 at least one query aborted (retry budget /\n"
+      "timeout exhausted under faults, flag-driven runs only); 4 a\n"
+      "scenario SLO assertion was violated (each violation is named on\n"
+      "stderr).\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -162,6 +178,8 @@ Flags ParseFlags(int argc, char** argv) {
                ParseFlag(a, "--system", &f.system) ||
                ParseFlag(a, "--router", &f.router) ||
                ParseFlag(a, "--faults", &f.faults) ||
+               ParseFlag(a, "--scenario", &f.scenario) ||
+               ParseFlag(a, "--report", &f.report_path) ||
                ParseFlag(a, "--metrics", &f.metrics_path)) {
     } else if (ParseFlag(a, "--scale", &v)) {
       f.scale = std::atof(v.c_str());
@@ -364,11 +382,70 @@ std::vector<ScheduledEpoch> BuildEpochSchedule(const Flags& f,
 
 }  // namespace
 
+namespace {
+
+/// --scenario mode: load, run, report, and gate on the SLO assertions.
+/// Exit codes: 0 ok, 1 I/O, 2 malformed spec, 4 assertion violated.
+int RunScenarioMode(const Flags& f) {
+  Result<ScenarioSpec> spec = ScenarioSpec::Load(f.scenario);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return spec.status().code() == StatusCode::kNotFound ? 1 : 2;
+  }
+  std::printf("scenario           : %s (%s)\n", spec->name.c_str(),
+              f.scenario.c_str());
+  if (!spec->description.empty()) {
+    std::printf("description        : %s\n", spec->description.c_str());
+  }
+  const ScenarioOutcome out = RunScenario(*spec);
+  const RunResult& r = out.result;
+  std::printf("queries            : %10zu total, %zu completed, "
+              "%zu aborted, %zu shed\n",
+              r.total_queries, r.CompletedQueries(), r.aborted_queries,
+              r.shed_queries);
+  std::printf("mean latency       : %10.1f s\n", r.MeanLatency());
+  std::printf("p50 / p95 / p99    : %10.1f / %.1f / %.1f s\n",
+              r.TailLatency(50), r.TailLatency(95), r.TailLatency(99));
+  std::printf("total cost         : %10.1f cents\n", r.total_cost);
+  std::printf("faults             : %10zu crashes, %zu partitions, "
+              "%zu retries, %zu repairs\n",
+              r.crashes, r.partitions, r.scan_retries, r.emergency_repairs);
+  std::printf("recovery time      : %10.1f s after the last fault\n",
+              out.recovery_time_s);
+  std::printf("peak RSS           : %10.1f MB\n", out.rss_peak_mb);
+  std::printf("makespan           : %10.1f h\n", r.makespan_s / 3600.0);
+  if (!f.report_path.empty()) {
+    std::FILE* rf = std::fopen(f.report_path.c_str(), "w");
+    if (rf == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   f.report_path.c_str());
+      return 1;
+    }
+    std::fprintf(rf, "%s", out.report_json.c_str());
+    std::fclose(rf);
+    std::printf("report             : %s\n", f.report_path.c_str());
+  }
+  if (!out.violations.empty()) {
+    for (const std::string& v : out.violations) {
+      std::fprintf(stderr, "scenario SLO violation: %s\n", v.c_str());
+    }
+    return 4;
+  }
+  std::printf("assertions         : %10zu checked, all met\n",
+              spec->assertions.size());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Flags flags = ParseFlags(argc, argv);
   if (flags.help) {
     PrintHelp();
     return 0;
+  }
+  if (!flags.scenario.empty()) {
+    return RunScenarioMode(flags);
   }
 
   Workload wl = BuildWorkload(flags);

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs every committed chaos scenario (scenarios/*.scn) through
+# `nashdb_sim --scenario` and collects the per-scenario JSON reports.
+#
+# Usage: tools/run_scenarios.sh [BUILD_DIR] [REPORT_DIR]
+#   BUILD_DIR   CMake build tree holding tools/nashdb_sim (default:
+#               ./build; configured + built on demand).
+#   REPORT_DIR  where the per-scenario JSON reports land (default:
+#               BUILD_DIR/scenario_reports — the same directory the
+#               ctest `scenario` label writes into, and the one CI
+#               uploads as an artifact).
+#
+# The two intentionally-failing specs are exercised as negative gates:
+# negative_gate.scn must exit 4 (SLO violations named on stderr) and
+# bad_spec_example.scn must exit 2 (parse error naming the bad token).
+# Every other spec must pass all of its [assert] entries. The script
+# exits nonzero listing every scenario that didn't behave as required.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+REPORT_DIR="${2:-${BUILD_DIR}/scenario_reports}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+SIM="${BUILD_DIR}/tools/nashdb_sim"
+if [[ ! -x "${SIM}" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target nashdb_sim
+fi
+mkdir -p "${REPORT_DIR}"
+
+failures=()
+for spec in scenarios/*.scn; do
+  name="$(basename "${spec}" .scn)"
+  report="${REPORT_DIR}/${name}.json"
+  echo "== scenario ${name} =="
+  "${SIM}" --scenario="${spec}" --report="${report}"
+  code=$?
+  case "${name}" in
+    negative_gate)
+      if [[ ${code} -ne 4 ]]; then
+        echo "run_scenarios.sh: ${name} must exit 4 (SLO gate), got" \
+             "${code}" >&2
+        failures+=("${name}")
+      else
+        echo "(negative gate fired as required)"
+      fi
+      ;;
+    bad_spec_example)
+      if [[ ${code} -ne 2 ]]; then
+        echo "run_scenarios.sh: ${name} must exit 2 (parse gate), got" \
+             "${code}" >&2
+        failures+=("${name}")
+      else
+        echo "(parse gate fired as required)"
+      fi
+      ;;
+    *)
+      if [[ ${code} -ne 0 ]]; then
+        echo "run_scenarios.sh: ${name} failed with exit ${code}" >&2
+        failures+=("${name}")
+      fi
+      ;;
+  esac
+  echo
+done
+
+if (( ${#failures[@]} > 0 )); then
+  echo "run_scenarios.sh: FAILED scenarios: ${failures[*]}" >&2
+  exit 1
+fi
+echo "run_scenarios.sh: all scenarios green (reports in ${REPORT_DIR})"
