@@ -1,0 +1,35 @@
+# Header self-containment gate (DESIGN.md §14, gate `header-tu`).
+#
+# Every public header under src/ must compile as the *sole* include of a
+# translation unit — no reliance on what a lucky includer happened to pull
+# in first. This generates one tiny TU per header (cmake/header_tu.cc.in)
+# and compiles the set as an OBJECT library that is EXCLUDE_FROM_ALL, so
+# ordinary builds never pay for it. It runs when asked for explicitly:
+#
+#   cmake --build build --target header_tu_gate
+#
+# which is what `tools/check.sh --static` and the `lint` ctest label do.
+# A header that stops being self-contained fails this target with a plain
+# compiler error naming the offending header's TU.
+#
+# CONFIGURE_DEPENDS re-globs at build time, so adding or deleting a header
+# does not require a manual re-configure.
+
+file(GLOB_RECURSE nashdb_public_headers CONFIGURE_DEPENDS
+     "${CMAKE_SOURCE_DIR}/src/*.h")
+list(SORT nashdb_public_headers)
+
+set(nashdb_header_tus "")
+foreach(header IN LISTS nashdb_public_headers)
+  # Includes are src-relative repo-wide ("common/status.h"), so the TU
+  # includes the same path every consumer writes.
+  file(RELATIVE_PATH NASHDB_HEADER "${CMAKE_SOURCE_DIR}/src" "${header}")
+  string(REPLACE "/" "_" tu_name "${NASHDB_HEADER}")
+  string(REGEX REPLACE "\\.h$" ".tu.cc" tu_name "${tu_name}")
+  set(tu "${CMAKE_BINARY_DIR}/header_tu/${tu_name}")
+  configure_file("${CMAKE_SOURCE_DIR}/cmake/header_tu.cc.in" "${tu}" @ONLY)
+  list(APPEND nashdb_header_tus "${tu}")
+endforeach()
+
+add_library(header_tu_gate OBJECT EXCLUDE_FROM_ALL ${nashdb_header_tus})
+set_target_properties(header_tu_gate PROPERTIES LINKER_LANGUAGE CXX)

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace nashdb {
 
@@ -45,7 +46,7 @@ class SpscQueue {
   std::size_t capacity() const { return mask_ + 1; }
 
   /// Producer side. Returns false when the queue is full.
-  bool TryPush(T value) {
+  NASHDB_HOT bool TryPush(T value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ > mask_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -57,7 +58,7 @@ class SpscQueue {
   }
 
   /// Consumer side. Returns false when the queue is empty.
-  bool TryPop(T* out) {
+  NASHDB_HOT bool TryPop(T* out) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == cached_head_) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -72,7 +73,7 @@ class SpscQueue {
   /// pair of index accesses — the bulk admission the batched data plane
   /// uses so a block of scans costs one acquire, not one per element.
   /// Returns how many were pushed (0 when the queue is full).
-  std::size_t TryPushBulk(const T* in, std::size_t max) {
+  NASHDB_HOT std::size_t TryPushBulk(const T* in, std::size_t max) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     std::size_t free = (mask_ + 1) - (head - cached_tail_);
     if (free < max) {
@@ -93,7 +94,7 @@ class SpscQueue {
   /// Consumer side: pops up to `max` elements into `out` with a single
   /// pair of index accesses — the bulk drain the shard loop uses so a
   /// deep queue costs one acquire, not one per element.
-  std::size_t TryPopBulk(T* out, std::size_t max) {
+  NASHDB_HOT std::size_t TryPopBulk(T* out, std::size_t max) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == cached_head_) {
       cached_head_ = head_.load(std::memory_order_acquire);

@@ -76,4 +76,17 @@
 #define NASHDB_NO_THREAD_SAFETY_ANALYSIS \
   NASHDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// Marks a steady-state query-path function (DESIGN.md §10/§14): the body
+/// must be allocation-free — no `new`, no make_unique/make_shared, no
+/// std::string construction, no container growth calls. The contract is
+/// enforced by tools/nashdb_lint.py (rule `hot-alloc`); deliberate appends
+/// into caller-reserved, capacity-reusing buffers carry a
+/// `// NASHDB_LINT_ALLOW(hot-alloc): reason` at the call site. On GCC and
+/// Clang the marker doubles as the `hot` optimization attribute.
+#if defined(__GNUC__) || defined(__clang__)
+#define NASHDB_HOT __attribute__((hot))
+#else
+#define NASHDB_HOT
+#endif
+
 #endif  // NASHDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -48,6 +48,10 @@ void ThreadPool::Schedule(std::function<void()> fn) {
 bool ThreadPool::OnWorkerThread() const { return current_pool == this; }
 
 std::size_t ThreadPool::DefaultThreads() {
+  // Pool *sizing* only: thread count never feeds a simulated-time or
+  // routing decision (determinism across reconfig_threads is pinned by
+  // tests), so reading the host's core count here is safe.
+  // NASHDB_LINT_ALLOW(det-source): pool sizing default, not simulated time
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 

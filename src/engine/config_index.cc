@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace nashdb {
 
@@ -97,9 +98,9 @@ const ConfigIndex::TableSpan& ConfigIndex::SpanFor(TableId table) const {
   return *it;
 }
 
-void ConfigIndex::AppendRequests(TableId table, TupleIndex start,
-                                 TupleIndex end,
-                                 std::vector<FlatRequest>* out) const {
+NASHDB_HOT void ConfigIndex::AppendRequests(
+    TableId table, TupleIndex start, TupleIndex end,
+    std::vector<FlatRequest>* out) const {
   const TableSpan& span = SpanFor(table);
   const Entry* first = entries_.data() + span.begin;
   const Entry* last = entries_.data() + span.end;
@@ -116,12 +117,13 @@ void ConfigIndex::AppendRequests(TableId table, TupleIndex start,
     req.tuples = e->tuples;
     req.cand_begin = e->cand_begin;
     req.cand_count = e->cand_count;
+    // NASHDB_LINT_ALLOW(hot-alloc): append into scratch-reused capacity
     out->push_back(req);
   }
 }
 
-void ConfigIndex::RequestsForInto(const Scan& scan,
-                                  ScanScratch* scratch) const {
+NASHDB_HOT void ConfigIndex::RequestsForInto(const Scan& scan,
+                                             ScanScratch* scratch) const {
   scratch->Clear();
   if (scan.range.empty()) return;
   AppendRequests(scan.table, scan.range.start, scan.range.end,
@@ -129,11 +131,13 @@ void ConfigIndex::RequestsForInto(const Scan& scan,
   scratch->external_pool = cand_pool_.data();
 }
 
-void ConfigIndex::ResolveBatchInto(ScanBatch* batch) const {
+NASHDB_HOT void ConfigIndex::ResolveBatchInto(ScanBatch* batch) const {
   const std::size_t n = batch->size();
   batch->req_off.clear();
   batch->requests.clear();
+  // NASHDB_LINT_ALLOW(hot-alloc): offsets reuse the batch's capacity
   batch->req_off.reserve(n + 1);
+  // NASHDB_LINT_ALLOW(hot-alloc): offsets reuse the batch's capacity
   batch->req_off.push_back(0);
   // Tight SoA streaming loop: dense O(1) table-span lookup, then the same
   // lower_bound + overlap walk as AppendRequests, inlined so the block
@@ -169,9 +173,11 @@ void ConfigIndex::ResolveBatchInto(ScanBatch* batch) const {
         req.tuples = e->tuples;
         req.cand_begin = e->cand_begin;
         req.cand_count = e->cand_count;
+        // NASHDB_LINT_ALLOW(hot-alloc): append into batch-reused capacity
         out->push_back(req);
       }
     }
+    // NASHDB_LINT_ALLOW(hot-alloc): offsets reuse the batch's capacity
     batch->req_off.push_back(static_cast<std::uint32_t>(out->size()));
   }
   batch->cand_pool = cand_pool_.data();

@@ -37,11 +37,15 @@ constexpr std::size_t kSmallScanRequests = 16;
 // output (a core may fail mid-append) is rolled back, so it leaves no
 // trace.
 template <typename Core>
-Status RouteBatchImpl(const ScanBatch& batch, const WaitView& waits,
-                      RouterScratch* scratch, std::vector<RoutedRead>* out,
-                      BatchSink* sink, Core&& core) {
+NASHDB_HOT Status RouteBatchImpl(const ScanBatch& batch, const WaitView& waits,
+                                 RouterScratch* scratch,
+                                 std::vector<RoutedRead>* out, BatchSink* sink,
+                                 Core&& core) {
   out->clear();
-  out->reserve(batch.requests.size());  // one read per request on success
+  // One read per request on success; `out` keeps its capacity across
+  // blocks, so the steady state re-reserves into existing storage.
+  // NASHDB_LINT_ALLOW(hot-alloc): reserve into caller-reused capacity
+  out->reserve(batch.requests.size());
   scratch->BeginBatch(waits);
   for (std::size_t s = 0; s < batch.size(); ++s) {
     const RequestBatch reqs = batch.ScanRequests(s);
@@ -55,6 +59,7 @@ Status RouteBatchImpl(const ScanBatch& batch, const WaitView& waits,
     const std::size_t base = out->size();
     const Status st = core(reqs, out);
     if (!st.ok()) {
+      // NASHDB_LINT_ALLOW(hot-alloc): shrink-only rollback, no growth
       out->resize(base);
       return st;
     }
@@ -145,9 +150,11 @@ namespace {
 
 // One scan's Max-of-mins rounds, appending to *out (scan-relative request
 // indices). Shared verbatim by RouteInto and RouteBatchInto.
-void MaxOfMinsCore(const RequestBatch& requests, double read_seconds_per_tuple,
-                   double phi_s, RouterScratch* scratch,
-                   std::vector<RoutedRead>* out) {
+NASHDB_HOT void MaxOfMinsCore(const RequestBatch& requests,
+                              double read_seconds_per_tuple, double phi_s,
+                              RouterScratch* scratch,
+                              std::vector<RoutedRead>* out) {
+  // NASHDB_LINT_ALLOW(hot-alloc): scratch flags reuse capacity across scans
   scratch->scheduled.assign(requests.count, 0);
 
   for (std::size_t round = 0; round < requests.count; ++round) {
@@ -181,6 +188,7 @@ void MaxOfMinsCore(const RequestBatch& requests, double read_seconds_per_tuple,
     scratch->AddWait(best_node,
                      static_cast<double>(requests.requests[best_req].tuples) *
                          read_seconds_per_tuple);
+    // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
     out->push_back(RoutedRead{best_req, best_node});
   }
 }
@@ -206,10 +214,11 @@ void MaxOfMinsCore(const RequestBatch& requests, double read_seconds_per_tuple,
 // RouteInto keeps the plain MaxOfMinsCore: the per-scan path is the
 // reference oracle the equivalence suites compare against, exactly as
 // the seed Route() is the oracle for RouteInto.
-Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
-                          double read_seconds_per_tuple, double phi_s,
-                          RouterScratch* scratch,
-                          std::vector<RoutedRead>* out) {
+NASHDB_HOT Status MaxOfMinsBatchCore(const RequestBatch& requests,
+                                     const WaitView& waits,
+                                     double read_seconds_per_tuple,
+                                     double phi_s, RouterScratch* scratch,
+                                     std::vector<RoutedRead>* out) {
   if (requests.count == 1) {
     const FlatRequest& req = requests.requests[0];
     if (req.cand_count == 0) return NoLiveReplica(req.frag);
@@ -224,6 +233,7 @@ Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
         min_node = m;
       }
     }
+    // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
     out->push_back(RoutedRead{0, min_node});
     return Status::OK();
   }
@@ -263,6 +273,7 @@ Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
     const FlatRequest& r1 = requests.requests[i1];
     const NodeId n1 = b_first ? node_b : node_a;
     if (n1 == kInvalidNode) return NoLiveReplica(r1.frag);
+    // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
     out->push_back(RoutedRead{i1, n1});
     // The winner's node after its read: the same lazy-init + `+=` float
     // sequence the scratch performs, so round two is bit-identical.
@@ -286,6 +297,7 @@ Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
       }
     }
     NASHDB_DCHECK(n2 != kInvalidNode);  // an empty r2 loses round one
+    // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
     out->push_back(RoutedRead{i2, n2});
     return Status::OK();
   }
@@ -366,6 +378,7 @@ Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
       } else {
         adv_wait[j] += delta;
       }
+      // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
       out->push_back(RoutedRead{best_req, bn});
       for (std::size_t i = 0; i < n; ++i) {
         if (!(pending >> i & 1u)) continue;
@@ -383,6 +396,7 @@ Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
   }
 
   scratch->NextScan();
+  // NASHDB_LINT_ALLOW(hot-alloc): scratch flags reuse capacity across scans
   scratch->scheduled.assign(requests.count, 0);
   for (std::size_t round = 0; round < requests.count; ++round) {
     double best_min = -1.0;
@@ -419,6 +433,7 @@ Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
     scratch->AddWait(best_node,
                      static_cast<double>(requests.requests[best_req].tuples) *
                          read_seconds_per_tuple);
+    // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
     out->push_back(RoutedRead{best_req, best_node});
   }
   return Status::OK();
@@ -426,11 +441,12 @@ Status MaxOfMinsBatchCore(const RequestBatch& requests, const WaitView& waits,
 
 }  // namespace
 
-Status MaxOfMinsRouter::RouteInto(const RequestBatch& requests,
-                                  const WaitView& waits,
-                                  double read_seconds_per_tuple, double phi_s,
-                                  RouterScratch* scratch,
-                                  std::vector<RoutedRead>* out) {
+NASHDB_HOT Status MaxOfMinsRouter::RouteInto(const RequestBatch& requests,
+                                             const WaitView& waits,
+                                             double read_seconds_per_tuple,
+                                             double phi_s,
+                                             RouterScratch* scratch,
+                                             std::vector<RoutedRead>* out) {
   NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
   out->clear();
   scratch->BeginScan(waits);
@@ -438,12 +454,10 @@ Status MaxOfMinsRouter::RouteInto(const RequestBatch& requests,
   return Status::OK();
 }
 
-Status MaxOfMinsRouter::RouteBatchInto(const ScanBatch& batch,
-                                       const WaitView& waits,
-                                       double read_seconds_per_tuple,
-                                       double phi_s, RouterScratch* scratch,
-                                       std::vector<RoutedRead>* out,
-                                       BatchSink* sink) {
+NASHDB_HOT Status MaxOfMinsRouter::RouteBatchInto(
+    const ScanBatch& batch, const WaitView& waits,
+    double read_seconds_per_tuple, double phi_s, RouterScratch* scratch,
+    std::vector<RoutedRead>* out, BatchSink* sink) {
   return RouteBatchImpl(
       batch, waits, scratch, out, sink,
       [&](const RequestBatch& reqs, std::vector<RoutedRead>* o) {
@@ -475,9 +489,10 @@ Result<std::vector<RoutedRead>> ShortestQueueRouter::Route(
 
 namespace {
 
-void ShortestQueueCore(const RequestBatch& requests,
-                       double read_seconds_per_tuple, RouterScratch* scratch,
-                       std::vector<RoutedRead>* out) {
+NASHDB_HOT void ShortestQueueCore(const RequestBatch& requests,
+                                  double read_seconds_per_tuple,
+                                  RouterScratch* scratch,
+                                  std::vector<RoutedRead>* out) {
   for (std::size_t i = 0; i < requests.count; ++i) {
     const FlatRequest& req = requests.requests[i];
     const NodeId* cand = requests.cands(req);
@@ -487,17 +502,17 @@ void ShortestQueueCore(const RequestBatch& requests,
     }
     scratch->AddWait(best, static_cast<double>(req.tuples) *
                                read_seconds_per_tuple);
+    // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
     out->push_back(RoutedRead{i, best});
   }
 }
 
 }  // namespace
 
-Status ShortestQueueRouter::RouteInto(const RequestBatch& requests,
-                                      const WaitView& waits,
-                                      double read_seconds_per_tuple,
-                                      double phi_s, RouterScratch* scratch,
-                                      std::vector<RoutedRead>* out) {
+NASHDB_HOT Status ShortestQueueRouter::RouteInto(
+    const RequestBatch& requests, const WaitView& waits,
+    double read_seconds_per_tuple, double phi_s, RouterScratch* scratch,
+    std::vector<RoutedRead>* out) {
   (void)phi_s;
   NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
   out->clear();
@@ -506,13 +521,10 @@ Status ShortestQueueRouter::RouteInto(const RequestBatch& requests,
   return Status::OK();
 }
 
-Status ShortestQueueRouter::RouteBatchInto(const ScanBatch& batch,
-                                           const WaitView& waits,
-                                           double read_seconds_per_tuple,
-                                           double phi_s,
-                                           RouterScratch* scratch,
-                                           std::vector<RoutedRead>* out,
-                                           BatchSink* sink) {
+NASHDB_HOT Status ShortestQueueRouter::RouteBatchInto(
+    const ScanBatch& batch, const WaitView& waits,
+    double read_seconds_per_tuple, double phi_s, RouterScratch* scratch,
+    std::vector<RoutedRead>* out, BatchSink* sink) {
   (void)phi_s;
   return RouteBatchImpl(
       batch, waits, scratch, out, sink,
@@ -579,8 +591,10 @@ Result<std::vector<RoutedRead>> GreedyScRouter::Route(
 
 namespace {
 
-void GreedyScCore(const RequestBatch& requests, RouterScratch* scratch,
-                  std::vector<RoutedRead>* out) {
+NASHDB_HOT void GreedyScCore(const RequestBatch& requests,
+                             RouterScratch* scratch,
+                             std::vector<RoutedRead>* out) {
+  // NASHDB_LINT_ALLOW(hot-alloc): scratch flags reuse capacity across scans
   scratch->scheduled.assign(requests.count, 0);
 
   // Build the node→requests postings lists for this call: one dense local
@@ -599,6 +613,7 @@ void GreedyScCore(const RequestBatch& requests, RouterScratch* scratch,
     const NodeId* cand = requests.cands(req);
     for (std::uint32_t k = 0; k < req.cand_count; ++k) {
       const std::uint32_t lid = scratch->LocalId(cand[k]);
+      // NASHDB_LINT_ALLOW(hot-alloc): postings lists reuse scratch capacity
       if (lid == off.size()) off.push_back(0);
       ++off[lid];
     }
@@ -610,10 +625,15 @@ void GreedyScCore(const RequestBatch& requests, RouterScratch* scratch,
     v = total;
     total += cnt;
   }
-  off.push_back(total);  // sentinel: node l's span is [off[l], off[l + 1])
+  // Sentinel: node l's span is [off[l], off[l + 1]). All three arrays
+  // reuse the scratch's capacity across calls (§10 contract).
+  // NASHDB_LINT_ALLOW(hot-alloc): postings lists reuse scratch capacity
+  off.push_back(total);
+  // NASHDB_LINT_ALLOW(hot-alloc): postings lists reuse scratch capacity
   post.resize(total);
   {
     std::vector<std::uint32_t>& cursor = scratch->post_cursor_;
+    // NASHDB_LINT_ALLOW(hot-alloc): postings lists reuse scratch capacity
     cursor.assign(off.begin(), off.end() - 1);
     for (std::size_t i = 0; i < requests.count; ++i) {
       const FlatRequest& req = requests.requests[i];
@@ -625,6 +645,7 @@ void GreedyScCore(const RequestBatch& requests, RouterScratch* scratch,
     }
   }
   if (scratch->round_stamp_.size() < local_count) {
+    // NASHDB_LINT_ALLOW(hot-alloc): grows once to the largest call seen
     scratch->round_stamp_.resize(local_count, 0);
   }
 
@@ -665,6 +686,7 @@ void GreedyScCore(const RequestBatch& requests, RouterScratch* scratch,
       if (scratch->scheduled[j]) continue;
       scratch->scheduled[j] = 1;
       --remaining;
+      // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
       out->push_back(RoutedRead{j, best_node});
     }
   }
@@ -672,11 +694,12 @@ void GreedyScCore(const RequestBatch& requests, RouterScratch* scratch,
 
 }  // namespace
 
-Status GreedyScRouter::RouteInto(const RequestBatch& requests,
-                                 const WaitView& waits,
-                                 double read_seconds_per_tuple, double phi_s,
-                                 RouterScratch* scratch,
-                                 std::vector<RoutedRead>* out) {
+NASHDB_HOT Status GreedyScRouter::RouteInto(const RequestBatch& requests,
+                                            const WaitView& waits,
+                                            double read_seconds_per_tuple,
+                                            double phi_s,
+                                            RouterScratch* scratch,
+                                            std::vector<RoutedRead>* out) {
   (void)read_seconds_per_tuple;
   (void)phi_s;
   NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
@@ -686,12 +709,10 @@ Status GreedyScRouter::RouteInto(const RequestBatch& requests,
   return Status::OK();
 }
 
-Status GreedyScRouter::RouteBatchInto(const ScanBatch& batch,
-                                      const WaitView& waits,
-                                      double read_seconds_per_tuple,
-                                      double phi_s, RouterScratch* scratch,
-                                      std::vector<RoutedRead>* out,
-                                      BatchSink* sink) {
+NASHDB_HOT Status GreedyScRouter::RouteBatchInto(
+    const ScanBatch& batch, const WaitView& waits,
+    double read_seconds_per_tuple, double phi_s, RouterScratch* scratch,
+    std::vector<RoutedRead>* out, BatchSink* sink) {
   (void)read_seconds_per_tuple;
   (void)phi_s;
   return RouteBatchImpl(batch, waits, scratch, out, sink,
@@ -753,10 +774,10 @@ namespace {
 
 // One scan's two-choice pass. Consumes RNG draws exactly as the reference
 // Route does (<= 2 candidates: none; > 2: two), per batch element.
-void PowerOfTwoCore(const RequestBatch& requests,
-                    double read_seconds_per_tuple, double phi_s,
-                    RouterScratch* scratch, Rng* rng,
-                    std::vector<RoutedRead>* out) {
+NASHDB_HOT void PowerOfTwoCore(const RequestBatch& requests,
+                               double read_seconds_per_tuple, double phi_s,
+                               RouterScratch* scratch, Rng* rng,
+                               std::vector<RoutedRead>* out) {
   for (std::size_t i = 0; i < requests.count; ++i) {
     const FlatRequest& req = requests.requests[i];
     const NodeId* cand = requests.cands(req);
@@ -788,17 +809,17 @@ void PowerOfTwoCore(const RequestBatch& requests,
     scratch->MarkUsed(pick);
     scratch->AddWait(pick, static_cast<double>(req.tuples) *
                                read_seconds_per_tuple);
+    // NASHDB_LINT_ALLOW(hot-alloc): append into caller-reserved capacity
     out->push_back(RoutedRead{i, pick});
   }
 }
 
 }  // namespace
 
-Status PowerOfTwoRouter::RouteInto(const RequestBatch& requests,
-                                   const WaitView& waits,
-                                   double read_seconds_per_tuple, double phi_s,
-                                   RouterScratch* scratch,
-                                   std::vector<RoutedRead>* out) {
+NASHDB_HOT Status PowerOfTwoRouter::RouteInto(
+    const RequestBatch& requests, const WaitView& waits,
+    double read_seconds_per_tuple, double phi_s, RouterScratch* scratch,
+    std::vector<RoutedRead>* out) {
   NASHDB_RETURN_IF_ERROR(ValidateRoutable(requests));
   out->clear();
   scratch->BeginScan(waits);
@@ -806,12 +827,10 @@ Status PowerOfTwoRouter::RouteInto(const RequestBatch& requests,
   return Status::OK();
 }
 
-Status PowerOfTwoRouter::RouteBatchInto(const ScanBatch& batch,
-                                        const WaitView& waits,
-                                        double read_seconds_per_tuple,
-                                        double phi_s, RouterScratch* scratch,
-                                        std::vector<RoutedRead>* out,
-                                        BatchSink* sink) {
+NASHDB_HOT Status PowerOfTwoRouter::RouteBatchInto(
+    const ScanBatch& batch, const WaitView& waits,
+    double read_seconds_per_tuple, double phi_s, RouterScratch* scratch,
+    std::vector<RoutedRead>* out, BatchSink* sink) {
   return RouteBatchImpl(
       batch, waits, scratch, out, sink,
       [&](const RequestBatch& reqs, std::vector<RoutedRead>* o) {

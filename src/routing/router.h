@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "replication/cluster_config.h"
 
@@ -71,7 +72,7 @@ class WaitView {
   WaitView(const SimTime* busy_until, std::size_t node_count, SimTime at)
       : busy_until_(busy_until), node_count_(node_count), at_(at) {}
 
-  double At(NodeId m) const {
+  NASHDB_HOT double At(NodeId m) const {
     return std::max<SimTime>(0.0, busy_until_[m] - at_);
   }
   std::size_t node_count() const { return node_count_; }
@@ -80,7 +81,7 @@ class WaitView {
   /// view to the next scan's arrival between scans; RouterScratch's lazy
   /// first-touch init re-reads the view each scan, so the new time is
   /// observed exactly as if a fresh view had been built per scan).
-  void set_at(SimTime at) { at_ = at; }
+  NASHDB_HOT void set_at(SimTime at) { at_ = at; }
 
  private:
   const SimTime* busy_until_;

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/nashdb_lint.py (ctest label: lint).
+
+Fixture layout: tests/lint_fixtures/<case>/src/... — each case is a tiny
+source tree handed to the linter via --root, so the fixtures live outside
+the linter's scan of the real repo (it only walks src/, tools/, bench/).
+Per rule family there is one *positive* (a finding asserted down to the
+exact rule ID and file:line) and one *negative* (the same construct under
+a well-formed `// NASHDB_LINT_ALLOW(rule): reason`, asserted to land in
+the suppressed list of the JSON report, not the findings).
+
+On top of the fixtures this also pins the linter's operational contract:
+a clean run over the repository itself, bit-identical output across runs,
+and the <10s runtime budget.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+import unittest
+
+REPO_ROOT = None  # set by main() from --repo-root
+
+
+def run_lint(root):
+    """Runs the linter over `root`; returns (proc, parsed_json, seconds)."""
+    lint = os.path.join(REPO_ROOT, "tools", "nashdb_lint.py")
+    t0 = time.monotonic()
+    proc = subprocess.run(
+        [sys.executable, lint, "--root", root, "--json", "-", "-q"],
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.monotonic() - t0
+    if proc.returncode not in (0, 1):
+        raise AssertionError(
+            "lint crashed (exit %d) on %s:\n%s" % (proc.returncode, root,
+                                                   proc.stderr)
+        )
+    return proc, json.loads(proc.stdout), elapsed
+
+
+def fixture(case):
+    return os.path.join(REPO_ROOT, "tests", "lint_fixtures", case)
+
+
+ALL_RULES = frozenset(
+    {
+        "det-source",
+        "det-unordered-iter",
+        "hot-alloc",
+        "lock-unguarded-mutex",
+        "lock-global-mutable",
+        "status-discard",
+        "inc-guard",
+        "inc-cycle",
+        "bad-allow",
+    }
+)
+
+# case -> (expected findings as (rule, file, line), expected suppressed
+# count). Line numbers are load-bearing: a finding that drifts off its
+# construct is a regression even if the rule still "fires somewhere".
+EXPECTED = {
+    "det_source": ([("det-source", "src/m/a.cc", 6)], 1),
+    "det_unordered_iter": ([("det-unordered-iter", "src/m/b.cc", 7)], 1),
+    "hot_alloc": ([("hot-alloc", "src/m/c.cc", 8)], 1),
+    "lock_unguarded_mutex": (
+        [("lock-unguarded-mutex", "src/m/d.h", 14)],
+        1,
+    ),
+    "lock_global_mutable": (
+        [("lock-global-mutable", "src/m/e.cc", 3)],
+        1,
+    ),
+    "status_discard": ([("status-discard", "src/m/f.cc", 8)], 1),
+    "inc_guard": ([("inc-guard", "src/m/g.h", 1)], 1),
+    "inc_cycle": ([("inc-cycle", "src/m/x.h", 4)], 1),
+    "bad_allow": (
+        [
+            ("bad-allow", "src/m/i.cc", 3),
+            ("bad-allow", "src/m/i.cc", 6),
+        ],
+        0,
+    ),
+}
+
+
+class FixtureTest(unittest.TestCase):
+    longMessage = True
+
+    def assert_case(self, case):
+        expected_findings, expected_suppressed = EXPECTED[case]
+        proc, doc, _ = run_lint(fixture(case))
+        got = [(e["rule"], e["file"], e["line"]) for e in doc["findings"]]
+        self.assertEqual(
+            got, expected_findings, "findings mismatch for %s" % case
+        )
+        self.assertEqual(proc.returncode, 1, case)
+        self.assertEqual(
+            len(doc["suppressed"]), expected_suppressed, case
+        )
+        for entry in doc["suppressed"]:
+            self.assertTrue(
+                entry.get("reason"),
+                "suppressed entry without a reason in %s: %r"
+                % (case, entry),
+            )
+
+    def test_every_rule_family_has_a_firing_fixture(self):
+        fired = set()
+        for case in EXPECTED:
+            for rule, _f, _l in EXPECTED[case][0]:
+                fired.add(rule)
+        # lock-unguarded-mutex etc. all covered; the ALLOW negatives are
+        # the per-escape-hatch coverage and live in the same cases.
+        self.assertEqual(fired, set(ALL_RULES))
+
+    def test_repo_is_clean(self):
+        proc, doc, _ = run_lint(REPO_ROOT)
+        self.assertEqual(
+            doc["findings"],
+            [],
+            "the repository itself must lint clean:\n%s" % proc.stderr,
+        )
+        self.assertEqual(proc.returncode, 0)
+        self.assertGreater(doc["files_scanned"], 50)
+
+    def test_repo_run_is_deterministic_and_fast(self):
+        proc1, _, t1 = run_lint(REPO_ROOT)
+        proc2, _, t2 = run_lint(REPO_ROOT)
+        self.assertEqual(
+            proc1.stdout, proc2.stdout, "JSON report differs across runs"
+        )
+        self.assertEqual(proc1.stderr, proc2.stderr)
+        self.assertLess(max(t1, t2), 10.0, "lint run over budget")
+
+    def test_suppressed_entries_stay_queryable(self):
+        # The repo's deliberate ALLOWs are recorded, not vanished: every
+        # suppressed entry carries rule, file, line, and a reason.
+        _, doc, _ = run_lint(REPO_ROOT)
+        self.assertGreater(len(doc["suppressed"]), 0)
+        for entry in doc["suppressed"]:
+            for field in ("rule", "file", "line", "reason"):
+                self.assertIn(field, entry)
+            self.assertIn(entry["rule"], ALL_RULES)
+
+
+def _add_case_tests():
+    for case in sorted(EXPECTED):
+        def make(c):
+            return lambda self: self.assert_case(c)
+        setattr(FixtureTest, "test_fixture_%s" % case, make(case))
+
+
+_add_case_tests()
+
+
+def main():
+    global REPO_ROOT
+    ap = argparse.ArgumentParser()
+    ap.add_argument(
+        "--repo-root",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), ".."
+        ),
+    )
+    args, rest = ap.parse_known_args()
+    REPO_ROOT = os.path.normpath(args.repo_root)
+    unittest.main(argv=[sys.argv[0]] + rest, verbosity=2)
+
+
+if __name__ == "__main__":
+    main()

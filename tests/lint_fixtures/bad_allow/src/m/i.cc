@@ -1,0 +1,8 @@
+namespace nashdb {
+
+// NASHDB_LINT_ALLOW(not-a-rule): names a rule that does not exist
+
+// NASHDB_LINT_ALLOW(lock-global-mutable):
+int reasonless = 0;
+
+}  // namespace nashdb

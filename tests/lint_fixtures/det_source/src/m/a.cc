@@ -1,0 +1,14 @@
+#include <chrono>
+
+namespace nashdb {
+
+double NowSeconds() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+double NowSecondsAllowed() {
+  // NASHDB_LINT_ALLOW(det-source): fixture negative
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace nashdb

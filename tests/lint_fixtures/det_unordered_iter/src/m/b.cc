@@ -1,0 +1,16 @@
+#include <unordered_map>
+
+namespace nashdb {
+
+void CountAll() {
+  std::unordered_map<int, int> counts;
+  for (const auto& kv : counts) {
+    static_cast<void>(kv);
+  }
+  // NASHDB_LINT_ALLOW(det-unordered-iter): fixture negative
+  for (const auto& kv : counts) {
+    static_cast<void>(kv);
+  }
+}
+
+}  // namespace nashdb

@@ -1,0 +1,15 @@
+#include <vector>
+
+#define NASHDB_HOT
+
+namespace nashdb {
+
+NASHDB_HOT void Hot(std::vector<int>* out) {
+  out->push_back(1);
+  // NASHDB_LINT_ALLOW(hot-alloc): fixture negative
+  out->push_back(2);
+}
+
+void Cold(std::vector<int>* out) { out->push_back(3); }
+
+}  // namespace nashdb

@@ -1,0 +1,7 @@
+#ifndef NASHDB_LINT_FIXTURE_P_H_
+#define NASHDB_LINT_FIXTURE_P_H_
+
+// NASHDB_LINT_ALLOW(inc-cycle): fixture negative
+#include "m/q.h"
+
+#endif  // NASHDB_LINT_FIXTURE_P_H_

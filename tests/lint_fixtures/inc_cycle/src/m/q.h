@@ -1,0 +1,6 @@
+#ifndef NASHDB_LINT_FIXTURE_Q_H_
+#define NASHDB_LINT_FIXTURE_Q_H_
+
+#include "m/p.h"
+
+#endif  // NASHDB_LINT_FIXTURE_Q_H_

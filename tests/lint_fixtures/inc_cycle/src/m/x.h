@@ -1,0 +1,6 @@
+#ifndef NASHDB_LINT_FIXTURE_X_H_
+#define NASHDB_LINT_FIXTURE_X_H_
+
+#include "m/y.h"
+
+#endif  // NASHDB_LINT_FIXTURE_X_H_

@@ -1,0 +1,6 @@
+#ifndef NASHDB_LINT_FIXTURE_Y_H_
+#define NASHDB_LINT_FIXTURE_Y_H_
+
+#include "m/x.h"
+
+#endif  // NASHDB_LINT_FIXTURE_Y_H_

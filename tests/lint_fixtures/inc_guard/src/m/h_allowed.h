@@ -1,0 +1,2 @@
+// NASHDB_LINT_ALLOW(inc-guard): fixture negative
+void Allowed();

@@ -1,0 +1,10 @@
+namespace nashdb {
+
+int naked_counter = 0;
+
+// NASHDB_LINT_ALLOW(lock-global-mutable): fixture negative
+int allowed_counter = 0;
+
+constexpr int kFine = 1;
+
+}  // namespace nashdb

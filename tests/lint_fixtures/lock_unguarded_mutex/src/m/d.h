@@ -1,0 +1,29 @@
+#ifndef NASHDB_LINT_FIXTURE_D_H_
+#define NASHDB_LINT_FIXTURE_D_H_
+
+#define NASHDB_GUARDED_BY(x)
+
+namespace nashdb {
+
+class Mutex {
+ public:
+  void Lock();
+};
+
+class Bad {
+  Mutex mu_;
+};
+
+class Good {
+  Mutex mu_;
+  int guarded_field NASHDB_GUARDED_BY(mu_);
+};
+
+class Allowed {
+  // NASHDB_LINT_ALLOW(lock-unguarded-mutex): fixture negative
+  Mutex mu_;
+};
+
+}  // namespace nashdb
+
+#endif  // NASHDB_LINT_FIXTURE_D_H_

@@ -1,0 +1,13 @@
+namespace nashdb {
+
+struct Status {};
+
+Status RebuildIndex();
+
+void Caller() {
+  (void)RebuildIndex();
+  // NASHDB_LINT_ALLOW(status-discard): fixture negative
+  (void)RebuildIndex();
+}
+
+}  // namespace nashdb

@@ -12,11 +12,23 @@
 #              ASan/UBSan) instead of the full suite. The online label
 #              marks the online-reconfiguration suites (epoch publish
 #              concurrent with routing, DESIGN.md 12).
-#   --static   static analysis only, no tests: tools/tidy.sh (clang-tidy
-#              with the curated .clang-tidy) plus, when clang++ is on
-#              PATH, a full compile under -Wthread-safety
-#              -Werror=thread-safety to check the NASHDB_GUARDED_BY /
-#              NASHDB_REQUIRES annotations.
+#   --static   the static gates only, no tests. In order, with a distinct
+#              exit code per gate so CI and humans can tell at a glance
+#              which one broke:
+#                10  tools/nashdb_lint.py — the project-contract linter
+#                    (determinism sources, NASHDB_HOT allocation freedom,
+#                    lock coverage, status discards, include hygiene;
+#                    DESIGN.md 14). Always runs: stdlib python only.
+#                11  header_tu_gate — every public src/ header compiled
+#                    as a standalone TU (cmake/header_tu_gate.cmake).
+#                    Always runs: needs only the configured compiler.
+#                12  tools/format.sh --check (clang-format against the
+#                    committed .clang-format; skipped without the tool).
+#                13  tools/tidy.sh --all (clang-tidy with the curated
+#                    .clang-tidy; skipped without the tool).
+#                14  the -Wthread-safety -Werror=thread-safety compile of
+#                    the NASHDB_GUARDED_BY / NASHDB_REQUIRES annotations
+#                    (skipped without clang++; GCC lacks the analysis).
 #   --bench-smoke
 #              build and run bench_query_path --smoke and
 #              bench_data_plane --smoke in the plain Release tree and
@@ -135,8 +147,22 @@ EOF
 fi
 
 if [[ "${STATIC}" == "1" ]]; then
-  echo "== clang-tidy =="
-  tools/tidy.sh
+  echo "== nashdb_lint (project-contract gates) =="
+  python3 tools/nashdb_lint.py --json build/nashdb_lint.json || exit 10
+
+  echo
+  echo "== header self-containment (header_tu_gate) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target header_tu_gate || exit 11
+  echo "header_tu_gate: every public src/ header compiles standalone"
+
+  echo
+  echo "== clang-format (tools/format.sh --check) =="
+  tools/format.sh --check || exit 12
+
+  echo
+  echo "== clang-tidy (tools/tidy.sh --all) =="
+  tools/tidy.sh --all || exit 13
 
   echo
   echo "== thread-safety analysis =="
@@ -144,8 +170,8 @@ if [[ "${STATIC}" == "1" ]]; then
     # The root CMakeLists adds -Wthread-safety -Werror=thread-safety
     # whenever the compiler is Clang; a clean build IS the check.
     cmake -B build-clang -S . -DCMAKE_BUILD_TYPE=Release \
-          -DCMAKE_CXX_COMPILER=clang++ >/dev/null
-    cmake --build build-clang -j "${JOBS}"
+          -DCMAKE_CXX_COMPILER=clang++ >/dev/null || exit 14
+    cmake --build build-clang -j "${JOBS}" || exit 14
     echo "thread-safety: clean"
   else
     echo "check.sh: clang++ not found; skipping the thread-safety pass" \
@@ -153,7 +179,7 @@ if [[ "${STATIC}" == "1" ]]; then
   fi
 
   echo
-  echo "check.sh: static analysis green"
+  echo "check.sh: static analysis green (report: build/nashdb_lint.json)"
   exit 0
 fi
 

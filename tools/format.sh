@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# clang-format gate over the tracked C++ sources, pinned by the committed
+# .clang-format at the repo root.
+#
+# Usage: tools/format.sh [--check] [file ...]
+#   Default: rewrite files in place.
+#   --check  diff mode — no file is touched; exits non-zero listing every
+#            file whose formatting differs (what CI and
+#            tools/check.sh --static run).
+#   Passing files restricts the run; otherwise every tracked .h/.cc under
+#   src/, tools/, bench/, tests/ is covered.
+#
+# Environment:
+#   CLANG_FORMAT  clang-format binary (default: first of clang-format,
+#                 clang-format-20 .. clang-format-14 on PATH).
+#
+# When no clang-format exists on PATH the script prints a notice and
+# exits 0, mirroring tools/tidy.sh: the gate is Clang-hosted tooling and
+# gcc-only environments still need the rest of check.sh to pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHECK=0
+files=()
+for arg in "$@"; do
+  case "${arg}" in
+    --check) CHECK=1 ;;
+    -h|--help)
+      awk 'NR > 1 && !/^#/ { exit } NR > 1 { sub(/^# ?/, ""); print }' "$0"
+      exit 0
+      ;;
+    -*)
+      echo "format.sh: unknown flag '${arg}'" >&2
+      exit 2
+      ;;
+    *) files+=("${arg}") ;;
+  esac
+done
+
+FMT_BIN="${CLANG_FORMAT:-}"
+if [[ -z "${FMT_BIN}" ]]; then
+  for cand in clang-format clang-format-20 clang-format-19 clang-format-18 \
+              clang-format-17 clang-format-16 clang-format-15 \
+              clang-format-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      FMT_BIN="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${FMT_BIN}" ]]; then
+  echo "format.sh: clang-format not found on PATH; skipping (install" \
+       "clang-format to enable the format gate)"
+  exit 0
+fi
+
+if [[ "${#files[@]}" -eq 0 ]]; then
+  mapfile -t files < <(git ls-files \
+      'src/*.h' 'src/*.cc' 'src/**/*.h' 'src/**/*.cc' \
+      'tools/*.h' 'tools/*.cc' 'tools/**/*.h' 'tools/**/*.cc' \
+      'bench/*.h' 'bench/*.cc' 'bench/**/*.h' 'bench/**/*.cc' \
+      'tests/*.h' 'tests/*.cc' 'tests/**/*.h' 'tests/**/*.cc')
+fi
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "format.sh: no files to format" >&2
+  exit 1
+fi
+
+if [[ "${CHECK}" == "1" ]]; then
+  echo "format.sh: ${FMT_BIN} --dry-run over ${#files[@]} files"
+  bad=0
+  for f in "${files[@]}"; do
+    if ! "${FMT_BIN}" --dry-run -Werror "${f}" >/dev/null 2>&1; then
+      echo "format.sh: needs formatting: ${f}" >&2
+      bad=1
+    fi
+  done
+  if [[ "${bad}" == "1" ]]; then
+    echo "format.sh: run tools/format.sh to fix" >&2
+    exit 1
+  fi
+  echo "format.sh: clean"
+else
+  echo "format.sh: ${FMT_BIN} -i over ${#files[@]} files"
+  "${FMT_BIN}" -i "${files[@]}"
+  echo "format.sh: done"
+fi

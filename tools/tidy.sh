@@ -2,9 +2,12 @@
 # clang-tidy gate over the library sources, using the curated .clang-tidy
 # at the repo root (WarningsAsErrors: '*', so any finding fails the run).
 #
-# Usage: tools/tidy.sh [file.cc ...]
+# Usage: tools/tidy.sh [--all] [file.cc ...]
 #   With no arguments, every tracked .cc under src/ is checked. Passing
-#   files restricts the run (useful pre-commit).
+#   files restricts the run (useful pre-commit). --all widens the sweep
+#   to the tracked .cc under tools/, bench/, and tests/ as well (they
+#   are all in build/compile_commands.json, so the same curated check
+#   set applies end to end).
 #
 # Environment:
 #   CLANG_TIDY      clang-tidy binary to use (default: first of clang-tidy,
@@ -18,6 +21,16 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+ALL=0
+args=()
+for arg in "$@"; do
+  case "${arg}" in
+    --all) ALL=1 ;;
+    *) args+=("${arg}") ;;
+  esac
+done
+set -- ${args[@]+"${args[@]}"}
 
 TIDY_BIN="${CLANG_TIDY:-}"
 if [[ -z "${TIDY_BIN}" ]]; then
@@ -46,6 +59,10 @@ fi
 
 if [[ "$#" -gt 0 ]]; then
   files=("$@")
+elif [[ "${ALL}" == "1" ]]; then
+  mapfile -t files < <(git ls-files 'src/*.cc' 'src/**/*.cc' \
+      'tools/*.cc' 'tools/**/*.cc' 'bench/*.cc' 'bench/**/*.cc' \
+      'tests/*.cc' 'tests/**/*.cc')
 else
   mapfile -t files < <(git ls-files 'src/*.cc' 'src/**/*.cc')
 fi
