@@ -148,6 +148,9 @@ fi
 
 if [[ "${STATIC}" == "1" ]]; then
   echo "== nashdb_lint (project-contract gates) =="
+  # The lint gate runs first, before cmake has ever created build/ —
+  # on a fresh checkout the report directory must exist up front.
+  mkdir -p build
   python3 tools/nashdb_lint.py --json build/nashdb_lint.json || exit 10
 
   echo

@@ -71,8 +71,11 @@ if [[ "${CHECK}" == "1" ]]; then
   echo "format.sh: ${FMT_BIN} --dry-run over ${#files[@]} files"
   bad=0
   for f in "${files[@]}"; do
-    if ! "${FMT_BIN}" --dry-run -Werror "${f}" >/dev/null 2>&1; then
+    # Keep clang-format's replacement warnings on failure so a CI log
+    # shows *what* is misformatted, not just which file.
+    if ! out="$("${FMT_BIN}" --dry-run -Werror "${f}" 2>&1)"; then
       echo "format.sh: needs formatting: ${f}" >&2
+      printf '%s\n' "${out}" >&2
       bad=1
     fi
   done

@@ -807,8 +807,20 @@ def run(root, json_path, quiet):
     if json_path == "-":
         sys.stdout.write(payload)
     elif json_path:
-        with open(json_path, "w", encoding="utf-8") as f:
-            f.write(payload)
+        # An unwritable report path is an internal error (exit 2), never
+        # exit 1 — that code is the findings contract callers gate on.
+        try:
+            parent = os.path.dirname(json_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(json_path, "w", encoding="utf-8") as f:
+                f.write(payload)
+        except OSError as exc:
+            print(
+                "nashdb_lint: cannot write report %s: %s" % (json_path, exc),
+                file=sys.stderr,
+            )
+            return 2
 
     text_out = sys.stderr if json_path == "-" else sys.stdout
     for e in report.findings:
