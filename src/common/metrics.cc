@@ -187,6 +187,15 @@ void AppendTrace(std::string* out, const ReconfigTrace& t) {
   out->append(", ");
   AppendKey(out, "plan_ms");
   AppendDouble(out, t.plan_ms);
+  out->append(", ");
+  AppendKey(out, "plan_used_sparse");
+  out->append(t.plan_used_sparse ? "true" : "false");
+  out->append(", ");
+  AppendKey(out, "plan_graph_edges");
+  AppendU64(out, t.plan_graph_edges);
+  out->append(", ");
+  AppendKey(out, "plan_solver_iterations");
+  AppendU64(out, t.plan_solver_iterations);
   out->append("}");
 
   out->append("}");

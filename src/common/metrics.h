@@ -133,7 +133,10 @@ struct ReconfigTrace {
   std::uint64_t planned_transfer_tuples = 0;
   std::size_t nodes_added = 0;
   std::size_t nodes_removed = 0;
-  double plan_ms = 0.0;             ///< Hungarian matching wall time.
+  double plan_ms = 0.0;             ///< Matching solve wall time.
+  bool plan_used_sparse = false;    ///< Sparse SSP vs dense Hungarian.
+  std::size_t plan_graph_edges = 0; ///< Positive-overlap edges priced.
+  std::uint64_t plan_solver_iterations = 0;  ///< Sparse Dijkstra settles.
 };
 
 /// The global metric store. All accessors hand out pointers that stay

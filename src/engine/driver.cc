@@ -71,6 +71,9 @@ void AnnotateTransition(SimTime sim_time_s, bool applied,
     tr.nodes_added = plan.nodes_added;
     tr.nodes_removed = plan.nodes_removed;
     tr.plan_ms = plan_ms;
+    tr.plan_used_sparse = plan.stats.used_sparse;
+    tr.plan_graph_edges = plan.stats.graph_edges;
+    tr.plan_solver_iterations = plan.stats.solver_iterations;
   };
   if (!reg.AnnotateLastReconfig(fill)) {
     metrics::ReconfigTrace tr;

@@ -298,7 +298,7 @@ ClusterConfig NashDbSystem::BuildFromSnapshot(EstimatorSnapshot snap) {
       options_.incremental_placement
           ? RepackIncremental(params, std::move(fragments),
                               last_config_.get())
-          : PackReplicasBffd(params, std::move(fragments));
+          : PackReplicasBffd(params, std::move(fragments), pool_.get());
   NASHDB_CHECK(packed.ok()) << packed.status().ToString();
   last_config_ = std::make_unique<ClusterConfig>(*packed);
 
@@ -315,7 +315,7 @@ ClusterConfig NashDbSystem::BuildFromSnapshot(EstimatorSnapshot snap) {
     econ.replica_slack_frac = options_.replica_hysteresis > 0
                                   ? options_.replica_hysteresis_frac
                                   : 0.0;
-    NASHDB_VALIDATE_OR_DIE(ValidateConfig(*last_config_));
+    NASHDB_VALIDATE_OR_DIE(ValidateConfig(*last_config_, pool_.get()));
     NASHDB_VALIDATE_OR_DIE(ValidateReplicaEconomics(*last_config_, econ));
   }
 #endif

@@ -1,18 +1,57 @@
 #include "engine/validate.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "fragment/prefix_stats.h"
 #include "replication/replication.h"
 
 namespace nashdb {
 namespace {
+
+/// Runs `fn(i)` for every i in [0, n) fanned out over `pool` in contiguous
+/// chunks of `grain`, and returns the violation with the smallest index —
+/// deterministically, regardless of how chunks were scheduled. Each chunk
+/// stops at its own first error; chunks strictly above an already-failed
+/// one skip out early (they can never win), which keeps the common
+/// corrupted-config case cheap without affecting which error is reported.
+Status FirstError(ThreadPool* pool, std::size_t n, std::size_t grain,
+                  const std::function<Status(std::size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<Status> chunk_status(chunks);
+  std::atomic<std::size_t> first_bad{chunks};
+  ParallelFor(pool, chunks, [&](std::size_t c) {
+    if (c > first_bad.load(std::memory_order_relaxed)) return;
+    const std::size_t end = std::min(n, (c + 1) * grain);
+    for (std::size_t i = c * grain; i < end; ++i) {
+      Status st = fn(i);
+      if (!st.ok()) {
+        chunk_status[c] = std::move(st);
+        // Keep the minimum failing chunk (racy min via CAS).
+        std::size_t cur = first_bad.load(std::memory_order_relaxed);
+        while (c < cur &&
+               !first_bad.compare_exchange_weak(cur, c,
+                                                std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (!chunk_status[c].ok()) return chunk_status[c];
+  }
+  return Status::OK();
+}
 
 std::string RangeStr(const TupleRange& r) {
   std::ostringstream os;
@@ -98,25 +137,32 @@ Status CheckContiguous(TableId table, const std::vector<TupleRange>& ranges,
 
 }  // namespace
 
-Status ValidateConfig(const ClusterConfig& config) {
+Status ValidateConfig(const ClusterConfig& config, ThreadPool* pool) {
+  metrics::ScopedTimerMs timer("transition.validate_config_ms");
   const std::vector<FragmentInfo>& frags = config.fragments();
   const std::size_t n_nodes = config.node_count();
 
   // -- fragment contiguity & coverage, per table --------------------------
+  // Grouping is serial (one pass); the per-table contiguity walks fan out.
   std::map<TableId, std::vector<std::size_t>> by_table;
   for (std::size_t i = 0; i < frags.size(); ++i) {
     by_table[frags[i].table].push_back(i);
   }
-  for (auto& [table, ids] : by_table) {
-    std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
-      return frags[a].range.start < frags[b].range.start;
-    });
-    std::vector<TupleRange> ranges;
-    ranges.reserve(ids.size());
-    for (std::size_t i : ids) ranges.push_back(frags[i].range);
-    NASHDB_RETURN_IF_ERROR(
-        CheckContiguous(table, ranges, ids, "fragment coverage"));
-  }
+  std::vector<std::pair<TableId, std::vector<std::size_t>*>> tables;
+  tables.reserve(by_table.size());
+  for (auto& [table, ids] : by_table) tables.emplace_back(table, &ids);
+  NASHDB_RETURN_IF_ERROR(
+      FirstError(pool, tables.size(), 1, [&](std::size_t t) -> Status {
+        std::vector<std::size_t>& ids = *tables[t].second;
+        std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+          return frags[a].range.start < frags[b].range.start;
+        });
+        std::vector<TupleRange> ranges;
+        ranges.reserve(ids.size());
+        for (std::size_t i : ids) ranges.push_back(frags[i].range);
+        return CheckContiguous(tables[t].first, ranges, ids,
+                               "fragment coverage");
+      }));
 
   // -- replica placement cardinality & index consistency ------------------
   // The fragment->node index is only allocated by the first Place call, so
@@ -140,66 +186,108 @@ Status ValidateConfig(const ClusterConfig& config) {
     }
     return Status::OK();
   }
-  std::vector<std::vector<FlatFragmentId>> node_holdings(n_nodes);
+
+  // Streaming index-agreement argument (no node_holdings cross-product is
+  // ever materialized, unlike the historical O(nodes x fragments) walk):
+  //   (a) per fragment, the fragment->node entries are exactly
+  //       FragmentInfo::replicas distinct in-range nodes;
+  //   (b) per node, the node->fragment entries are distinct and each is
+  //       mirrored by the fragment side (membership scan over <= replicas
+  //       entries);
+  //   (c) the two indexes have the same total size.
+  // (a) makes fragment-side pairs distinct, (b) makes node-side pairs
+  // distinct and a subset of the fragment side, and with (c) a distinct
+  // subset of equal size is equality — the same multiset-agreement
+  // guarantee as before.
+  NASHDB_RETURN_IF_ERROR(
+      FirstError(pool, frags.size(), 256, [&](std::size_t i) -> Status {
+        const FlatFragmentId fid = static_cast<FlatFragmentId>(i);
+        const FragmentInfo& f = frags[fid];
+        const std::vector<NodeId>& homes = config.FragmentNodes(fid);
+        if (homes.size() != f.replicas) {
+          std::ostringstream os;
+          os << "replica placement: fragment #" << fid << " (table "
+             << f.table << " " << RangeStr(f.range) << ") wants "
+             << f.replicas << " replicas but is placed on " << homes.size()
+             << " nodes";
+          return Status::FailedPrecondition(os.str());
+        }
+        std::vector<NodeId> sorted = homes;
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t k = 0; k < sorted.size(); ++k) {
+          std::ostringstream os;
+          if (sorted[k] >= n_nodes) {
+            os << "replica placement: fragment #" << fid
+               << " placed on node " << sorted[k]
+               << " but the cluster has " << n_nodes << " nodes";
+            return Status::FailedPrecondition(os.str());
+          }
+          if (k > 0 && sorted[k] == sorted[k - 1]) {
+            os << "replica placement: fragment #" << fid
+               << " has two replicas on node " << sorted[k];
+            return Status::FailedPrecondition(os.str());
+          }
+        }
+        return Status::OK();
+      }));
+
+  std::size_t fragment_side = 0;
   for (FlatFragmentId fid = 0; fid < frags.size(); ++fid) {
-    const FragmentInfo& f = frags[fid];
-    const std::vector<NodeId>& homes = config.FragmentNodes(fid);
-    if (homes.size() != f.replicas) {
-      std::ostringstream os;
-      os << "replica placement: fragment #" << fid << " (table " << f.table
-         << " " << RangeStr(f.range) << ") wants " << f.replicas
-         << " replicas but is placed on " << homes.size() << " nodes";
-      return Status::FailedPrecondition(os.str());
-    }
-    std::vector<NodeId> sorted = homes;
-    std::sort(sorted.begin(), sorted.end());
-    for (std::size_t k = 0; k < sorted.size(); ++k) {
-      std::ostringstream os;
-      if (sorted[k] >= n_nodes) {
-        os << "replica placement: fragment #" << fid << " placed on node "
-           << sorted[k] << " but the cluster has " << n_nodes << " nodes";
-        return Status::FailedPrecondition(os.str());
-      }
-      if (k > 0 && sorted[k] == sorted[k - 1]) {
-        os << "replica placement: fragment #" << fid
-           << " has two replicas on node " << sorted[k];
-        return Status::FailedPrecondition(os.str());
-      }
-    }
-    for (NodeId m : homes) node_holdings[m].push_back(fid);
+    fragment_side += config.FragmentNodes(fid).size();
   }
-  for (NodeId m = 0; m < n_nodes; ++m) {
-    std::vector<FlatFragmentId> listed = config.NodeFragments(m);
-    std::sort(listed.begin(), listed.end());
-    std::sort(node_holdings[m].begin(), node_holdings[m].end());
-    if (listed != node_holdings[m]) {
-      std::ostringstream os;
-      os << "index consistency: node " << m << " lists " << listed.size()
-         << " fragments but the fragment->node index places "
-         << node_holdings[m].size() << " there";
-      return Status::Internal(os.str());
-    }
+  if (fragment_side != placements) {
+    std::ostringstream os;
+    os << "index consistency: nodes list " << placements
+       << " placements but the fragment->node index holds " << fragment_side;
+    return Status::Internal(os.str());
   }
 
-  // -- node capacity (packer feasibility) ---------------------------------
-  for (NodeId m = 0; m < n_nodes; ++m) {
-    TupleCount used = 0;
-    for (FlatFragmentId fid : node_holdings[m]) used += frags[fid].size();
-    if (used != config.NodeUsage(m)) {
-      std::ostringstream os;
-      os << "node capacity: node " << m << " usage cache says "
-         << config.NodeUsage(m) << " tuples but placed fragments sum to "
-         << used;
-      return Status::Internal(os.str());
-    }
-    if (config.params().node_disk > 0 && used > config.params().node_disk) {
-      std::ostringstream os;
-      os << "node capacity: node " << m << " stores " << used
-         << " tuples, over the " << config.params().node_disk
-         << "-tuple disk (packer infeasibility)";
-      return Status::FailedPrecondition(os.str());
-    }
-  }
+  // -- per-node: index mirror, duplicates, capacity -----------------------
+  NASHDB_RETURN_IF_ERROR(
+      FirstError(pool, n_nodes, 64, [&](std::size_t i) -> Status {
+        const NodeId m = static_cast<NodeId>(i);
+        std::vector<FlatFragmentId> listed = config.NodeFragments(m);
+        std::sort(listed.begin(), listed.end());
+        TupleCount used = 0;
+        for (std::size_t k = 0; k < listed.size(); ++k) {
+          const FlatFragmentId fid = listed[k];
+          std::ostringstream os;
+          if (fid >= frags.size()) {
+            os << "index consistency: node " << m
+               << " lists unknown fragment #" << fid;
+            return Status::Internal(os.str());
+          }
+          if (k > 0 && fid == listed[k - 1]) {
+            os << "index consistency: node " << m
+               << " lists fragment #" << fid << " twice";
+            return Status::Internal(os.str());
+          }
+          const std::vector<NodeId>& homes = config.FragmentNodes(fid);
+          if (std::find(homes.begin(), homes.end(), m) == homes.end()) {
+            os << "index consistency: node " << m << " lists fragment #"
+               << fid << " but the fragment->node index does not place it "
+               << "there";
+            return Status::Internal(os.str());
+          }
+          used += frags[fid].size();
+        }
+        if (used != config.NodeUsage(m)) {
+          std::ostringstream os;
+          os << "node capacity: node " << m << " usage cache says "
+             << config.NodeUsage(m) << " tuples but placed fragments sum to "
+             << used;
+          return Status::Internal(os.str());
+        }
+        if (config.params().node_disk > 0 &&
+            used > config.params().node_disk) {
+          std::ostringstream os;
+          os << "node capacity: node " << m << " stores " << used
+             << " tuples, over the " << config.params().node_disk
+             << "-tuple disk (packer infeasibility)";
+          return Status::FailedPrecondition(os.str());
+        }
+        return Status::OK();
+      }));
   return Status::OK();
 }
 
@@ -342,7 +430,9 @@ Status ValidateScheme(const FragmentationScheme& scheme,
 Status ValidatePlan(const TransitionPlan& plan,
                     const ClusterConfig& old_config,
                     const ClusterConfig& new_config,
-                    const std::vector<bool>* old_node_dead) {
+                    const std::vector<bool>* old_node_dead,
+                    ThreadPool* pool) {
+  metrics::ScopedTimerMs timer("transition.validate_plan_ms");
   const std::size_t n_old = old_config.node_count();
   const std::size_t n_new = new_config.node_count();
   const auto old_dead = [&](NodeId m) {
@@ -350,6 +440,7 @@ Status ValidatePlan(const TransitionPlan& plan,
            (*old_node_dead)[m];
   };
 
+  // -- matching structure (serial: one cheap pass over the moves) ---------
   std::vector<char> seen_old(n_old, 0), seen_new(n_new, 0);
   TupleCount total = 0;
   std::size_t added = 0, removed = 0;
@@ -382,26 +473,6 @@ Status ValidatePlan(const TransitionPlan& plan,
         return Status::FailedPrecondition(os.str());
       }
     }
-
-    TupleCount expected = 0;
-    if (move.new_node != kInvalidNode) {
-      const NodeData new_data = NodeData::Of(new_config, move.new_node);
-      if (move.old_node == kInvalidNode || old_dead(move.old_node)) {
-        expected = new_data.TotalTuples();  // fresh or replacement: full copy
-      } else {
-        expected =
-            new_data.TuplesNotIn(NodeData::Of(old_config, move.old_node));
-      }
-    }
-    if (move.transfer_tuples != expected) {
-      os << "plan: move #" << i << " (old "
-         << (move.old_node == kInvalidNode ? -1 : static_cast<int>(move.old_node))
-         << " -> new "
-         << (move.new_node == kInvalidNode ? -1 : static_cast<int>(move.new_node))
-         << ") carries " << move.transfer_tuples
-         << " tuples but the recomputed §7 edge weight is " << expected;
-      return Status::FailedPrecondition(os.str());
-    }
     total += move.transfer_tuples;
     if (move.old_node == kInvalidNode) ++added;
     if (move.new_node == kInvalidNode) ++removed;
@@ -414,6 +485,39 @@ Status ValidatePlan(const TransitionPlan& plan,
       return Status::FailedPrecondition(os.str());
     }
   }
+
+  // -- §7 edge weights (parallel: two NodeData materializations per move
+  // make this the expensive part at thousands of nodes) -------------------
+  NASHDB_RETURN_IF_ERROR(
+      FirstError(pool, plan.moves.size(), 8, [&](std::size_t i) -> Status {
+        const NodeTransition& move = plan.moves[i];
+        TupleCount expected = 0;
+        if (move.new_node != kInvalidNode) {
+          const NodeData new_data = NodeData::Of(new_config, move.new_node);
+          if (move.old_node == kInvalidNode || old_dead(move.old_node)) {
+            expected = new_data.TotalTuples();  // fresh/replacement: full copy
+          } else {
+            expected =
+                new_data.TuplesNotIn(NodeData::Of(old_config, move.old_node));
+          }
+        }
+        if (move.transfer_tuples != expected) {
+          std::ostringstream os;
+          os << "plan: move #" << i << " (old "
+             << (move.old_node == kInvalidNode
+                     ? -1
+                     : static_cast<int>(move.old_node))
+             << " -> new "
+             << (move.new_node == kInvalidNode
+                     ? -1
+                     : static_cast<int>(move.new_node))
+             << ") carries " << move.transfer_tuples
+             << " tuples but the recomputed §7 edge weight is " << expected;
+          return Status::FailedPrecondition(os.str());
+        }
+        return Status::OK();
+      }));
+
   if (total != plan.total_transfer_tuples || added != plan.nodes_added ||
       removed != plan.nodes_removed) {
     std::ostringstream os;

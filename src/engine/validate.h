@@ -11,6 +11,8 @@
 
 namespace nashdb {
 
+class ThreadPool;
+
 /// Machine-checked invariants of the economic pipeline (DESIGN.md §9).
 /// The paper states these in prose; here they are pure functions over the
 /// pipeline's data structures, returning OK or a Status *naming the
@@ -49,7 +51,15 @@ struct ValidateOptions {
 ///     agree,
 ///   - per-node stored tuples match the fragment sizes and respect
 ///     ReplicationParams::node_disk (packer feasibility).
-Status ValidateConfig(const ClusterConfig& config);
+///
+/// Streaming + parallel: the checks run per table / per fragment / per
+/// node without materializing any cross-product index, fanned out over
+/// `pool` (nullptr = serial). The reported error is the lowest-index
+/// violation of the first failing check stage regardless of scheduling,
+/// so a corrupted config yields the same Status with and without a pool.
+/// This is what keeps NASHDB_VALIDATE builds usable at thousands of
+/// nodes.
+Status ValidateConfig(const ClusterConfig& config, ThreadPool* pool = nullptr);
 
 /// Eq. 9 replica economics (NashDB-built configurations only — baselines
 /// choose replica counts by other rules): every fragment's committed count
@@ -85,10 +95,16 @@ Status ValidateScheme(const FragmentationScheme& scheme,
 /// copy when the old side is fresh or dead), and the added/removed/total
 /// accounting is consistent. `old_node_dead` mirrors the failure-aware
 /// PlanTransition overload.
+///
+/// The per-move edge-weight recomputation (the expensive part — two
+/// NodeData materializations per move) fans out over `pool`; matching
+/// structure and totals stay serial. Error determinism contract as in
+/// ValidateConfig: within each stage the lowest-index violation wins.
 Status ValidatePlan(const TransitionPlan& plan,
                     const ClusterConfig& old_config,
                     const ClusterConfig& new_config,
-                    const std::vector<bool>* old_node_dead = nullptr);
+                    const std::vector<bool>* old_node_dead = nullptr,
+                    ThreadPool* pool = nullptr);
 
 /// True when this build runs the validators after every BuildConfig /
 /// PlanTransition (the NASHDB_VALIDATE CMake option).

@@ -3,10 +3,149 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
 namespace nashdb {
+namespace {
+
+/// The one BFFD processing order: decreasing replica count, ties broken by
+/// decreasing size for tighter packing, then by id for determinism. A
+/// strict total order (the id tie-break), which is what lets the per-table
+/// parallel sort + merge below reproduce the single global sort exactly.
+struct BffdLess {
+  const std::vector<FragmentInfo>* frags;
+  bool operator()(FlatFragmentId a, FlatFragmentId b) const {
+    const FragmentInfo& fa = (*frags)[a];
+    const FragmentInfo& fb = (*frags)[b];
+    if (fa.replicas != fb.replicas) return fa.replicas > fb.replicas;
+    if (fa.size() != fb.size()) return fa.size() > fb.size();
+    return a < b;
+  }
+};
+
+/// Sorts fragment ids into BFFD order: per-table fan-out over `pool`, then
+/// a k-way merge of the sorted slices under the same comparator. Because
+/// BffdLess is a strict total order over ids, merging the per-table sorted
+/// runs yields exactly the sequence a single global sort would — the
+/// parallelism is invisible in the output.
+std::vector<FlatFragmentId> SortBffdOrder(
+    const std::vector<FragmentInfo>& frags, ThreadPool* pool) {
+  // Bucket ids by table, preserving ascending id order within each bucket.
+  std::vector<TableId> tables;
+  for (const FragmentInfo& f : frags) tables.push_back(f.table);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  std::vector<std::vector<FlatFragmentId>> buckets(tables.size());
+  for (FlatFragmentId id = 0; id < frags.size(); ++id) {
+    const std::size_t b = static_cast<std::size_t>(
+        std::lower_bound(tables.begin(), tables.end(), frags[id].table) -
+        tables.begin());
+    buckets[b].push_back(id);
+  }
+
+  ParallelFor(pool, buckets.size(), [&](std::size_t b) {
+    std::sort(buckets[b].begin(), buckets[b].end(), BffdLess{&frags});
+  });
+
+  // k-way merge: repeatedly take the comparator-least head. Table counts
+  // are small, so a linear head scan beats heap bookkeeping.
+  std::vector<FlatFragmentId> order;
+  order.reserve(frags.size());
+  std::vector<std::size_t> head(buckets.size(), 0);
+  const BffdLess less{&frags};
+  while (order.size() < frags.size()) {
+    std::size_t best = buckets.size();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (head[b] >= buckets[b].size()) continue;
+      if (best == buckets.size() ||
+          less(buckets[b][head[b]], buckets[best][head[best]])) {
+        best = b;
+      }
+    }
+    order.push_back(buckets[best][head[best]++]);
+  }
+  return order;
+}
+
+/// Segment (max) tree over per-node remaining capacity answering "first
+/// node with remaining >= need" in O(log nodes) — the first-fit scan of
+/// BFFD without the linear walk. Slots beyond the live node count hold
+/// remaining capacity 0 and are excluded by the `limit` bound, so they can
+/// never be chosen (not even by zero-sized fragments).
+class FirstFitTree {
+ public:
+  void AddNode(TupleCount disk) {
+    if (n_ == cap_) Grow();
+    Set(n_, disk);
+    ++n_;
+  }
+
+  void Consume(NodeId node, TupleCount size) {
+    NASHDB_DCHECK(node < n_ && Get(node) >= size);
+    Set(node, Get(node) - size);
+  }
+
+  /// First node id in [lo, node count) with remaining >= need, or
+  /// kInvalidNode when none exists.
+  NodeId FindFirstFit(NodeId lo, TupleCount need) const {
+    if (lo >= n_) return kInvalidNode;
+    const std::size_t found = Find(1, 0, cap_, lo, need);
+    return found == kNotFound ? kInvalidNode : static_cast<NodeId>(found);
+  }
+
+ private:
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+
+  TupleCount Get(std::size_t leaf) const { return tree_[cap_ + leaf]; }
+
+  void Set(std::size_t leaf, TupleCount v) {
+    std::size_t i = cap_ + leaf;
+    tree_[i] = v;
+    for (i /= 2; i >= 1; i /= 2) {
+      tree_[i] = std::max(tree_[2 * i], tree_[2 * i + 1]);
+    }
+  }
+
+  void Grow() {
+    const std::size_t new_cap = cap_ == 0 ? 1 : cap_ * 2;
+    std::vector<TupleCount> old_leaves;
+    old_leaves.reserve(n_);
+    for (std::size_t i = 0; i < n_; ++i) old_leaves.push_back(Get(i));
+    cap_ = new_cap;
+    tree_.assign(2 * cap_, 0);
+    for (std::size_t i = 0; i < n_; ++i) tree_[cap_ + i] = old_leaves[i];
+    for (std::size_t i = cap_ - 1; i >= 1; --i) {
+      tree_[i] = std::max(tree_[2 * i], tree_[2 * i + 1]);
+    }
+  }
+
+  /// First leaf >= lo within [node_lo, node_hi) whose value >= need; the
+  /// live-node bound is enforced by the caller (leaves >= n_ hold 0 and
+  /// need can be 0 only for zero-sized fragments, which FindFirstFit
+  /// screens via `lo >= n_` plus the explicit n_ cap below).
+  std::size_t Find(std::size_t node, std::size_t node_lo, std::size_t node_hi,
+                   std::size_t lo, TupleCount need) const {
+    if (node_hi <= lo || tree_[node] < need || node_lo >= n_) return kNotFound;
+    if (node_hi - node_lo == 1) return node_lo;
+    const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+    const std::size_t left = Find(2 * node, node_lo, mid, lo, need);
+    if (left != kNotFound) return left;
+    return Find(2 * node + 1, mid, node_hi, lo, need);
+  }
+
+  std::size_t n_ = 0;    ///< live nodes
+  std::size_t cap_ = 0;  ///< power-of-two leaf capacity
+  std::vector<TupleCount> tree_;
+};
+
+}  // namespace
 
 Result<ClusterConfig> PackReplicasBffd(const ReplicationParams& params,
-                                       std::vector<FragmentInfo> fragments) {
+                                       std::vector<FragmentInfo> fragments,
+                                       ThreadPool* pool) {
+  metrics::ScopedTimerMs timer("transition.pack_ms");
   if (params.node_disk == 0) {
     return Status::InvalidArgument("node_disk must be positive");
   }
@@ -19,34 +158,31 @@ Result<ClusterConfig> PackReplicasBffd(const ReplicationParams& params,
 
   ClusterConfig config(params, std::move(fragments));
 
-  // Process fragments in decreasing order of replica count (ties broken by
-  // decreasing size for tighter packing, then by id for determinism).
-  std::vector<FlatFragmentId> order(config.fragments().size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](FlatFragmentId a, FlatFragmentId b) {
-              const FragmentInfo& fa = config.fragment(a);
-              const FragmentInfo& fb = config.fragment(b);
-              if (fa.replicas != fb.replicas) return fa.replicas > fb.replicas;
-              if (fa.size() != fb.size()) return fa.size() > fb.size();
-              return a < b;
-            });
+  const std::vector<FlatFragmentId> order =
+      SortBffdOrder(config.fragments(), pool);
 
+  // First fit with a capacity tree: semantically the historical scan
+  // "first node where Fits && !Holds, else AddNode", with Fits answered by
+  // the tree (remaining >= size <=> Fits) and Holds screened by resuming
+  // the search past a node that already stores the fragment.
+  FirstFitTree tree;
   for (FlatFragmentId fid : order) {
     const FragmentInfo& f = config.fragment(fid);
     for (std::size_t r = 0; r < f.replicas; ++r) {
-      bool placed = false;
-      for (NodeId node = 0; node < config.node_count(); ++node) {
-        if (config.Fits(node, f.size()) && !config.Holds(node, fid)) {
-          config.Place(node, fid);
-          placed = true;
-          break;
-        }
+      NodeId lo = 0;
+      NodeId node = kInvalidNode;
+      while (true) {
+        node = tree.FindFirstFit(lo, f.size());
+        if (node == kInvalidNode) break;
+        if (!config.Holds(node, fid)) break;
+        lo = node + 1;  // holds a replica already: keep scanning upward
       }
-      if (!placed) {
-        const NodeId node = config.AddNode();
-        config.Place(node, fid);
+      if (node == kInvalidNode) {
+        node = config.AddNode();
+        tree.AddNode(params.node_disk);
       }
+      config.Place(node, fid);
+      tree.Consume(node, f.size());
     }
   }
   return config;

@@ -1,0 +1,145 @@
+#include "transition/edge_cost.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "transition/planner.h"
+
+namespace nashdb {
+namespace {
+
+/// One coalesced per-node interval tagged with its owning node, flattened
+/// across the whole configuration and sorted by (table, start) so a single
+/// forward sweep covers every table.
+struct TaggedInterval {
+  TableId table = 0;
+  TupleRange range;
+  NodeId node = kInvalidNode;
+};
+
+bool TaggedLess(const TaggedInterval& a, const TaggedInterval& b) {
+  if (a.table != b.table) return a.table < b.table;
+  if (a.range.start != b.range.start) return a.range.start < b.range.start;
+  return a.node < b.node;
+}
+
+/// Flattens the coalesced NodeData interval sets of every node of `config`
+/// into one (table, start)-sorted list. `skip_dead` marks nodes whose
+/// replicas must be ignored (crashed machines price as empty).
+std::vector<TaggedInterval> FlattenIntervals(
+    const ClusterConfig& config, const std::vector<bool>* skip_dead,
+    std::vector<TupleCount>* totals_out) {
+  const std::size_t n = config.node_count();
+  if (totals_out != nullptr) totals_out->assign(n, 0);
+  std::vector<TaggedInterval> flat;
+  for (NodeId m = 0; m < n; ++m) {
+    if (skip_dead != nullptr && m < skip_dead->size() && (*skip_dead)[m]) {
+      continue;
+    }
+    const NodeData data = NodeData::Of(config, m);
+    for (const NodeData::Interval& iv : data.intervals()) {
+      flat.push_back(TaggedInterval{iv.table, iv.range, m});
+      if (totals_out != nullptr) (*totals_out)[m] += iv.range.size();
+    }
+  }
+  std::sort(flat.begin(), flat.end(), TaggedLess);
+  return flat;
+}
+
+/// Drops intervals of `active` whose range ends at or before `start` (they
+/// can overlap nothing at or after it), compacting in place. Preserves
+/// relative order, so the active list stays deterministic.
+void PruneExpired(std::vector<const TaggedInterval*>* active,
+                  TableId table, TupleIndex start) {
+  std::size_t keep = 0;
+  for (const TaggedInterval* iv : *active) {
+    if (iv->table == table && iv->range.end > start) {
+      (*active)[keep++] = iv;
+    }
+  }
+  active->resize(keep);
+}
+
+}  // namespace
+
+TransitionGraph BuildTransitionGraph(const ClusterConfig& old_config,
+                                     const ClusterConfig& new_config,
+                                     const std::vector<bool>* old_node_dead) {
+  TransitionGraph graph;
+  graph.n_old = old_config.node_count();
+  graph.n_new = new_config.node_count();
+
+  const std::vector<TaggedInterval> old_ivs =
+      FlattenIntervals(old_config, old_node_dead, nullptr);
+  const std::vector<TaggedInterval> new_ivs =
+      FlattenIntervals(new_config, nullptr, &graph.new_total);
+  if (old_ivs.empty() || new_ivs.empty()) return graph;
+
+  // Plane sweep over both lists interleaved by (table, start): when an
+  // interval arrives it is paired against every still-live interval of the
+  // other side, accumulating one (old, new, intersection) triple per
+  // overlapping pair. Intervals within one node are disjoint (coalesced),
+  // so a pair of nodes can meet once per pair of physical overlaps; the
+  // sort/merge below sums those into a single edge.
+  std::vector<const TaggedInterval*> active_old, active_new;
+  std::vector<TransitionEdge> raw;
+  std::size_t io = 0, in = 0;
+  while (io < old_ivs.size() || in < new_ivs.size()) {
+    const bool take_old =
+        in >= new_ivs.size() ||
+        (io < old_ivs.size() && TaggedLess(old_ivs[io], new_ivs[in]));
+    const TaggedInterval& cur = take_old ? old_ivs[io++] : new_ivs[in++];
+    std::vector<const TaggedInterval*>* other =
+        take_old ? &active_new : &active_old;
+    PruneExpired(other, cur.table, cur.range.start);
+    for (const TaggedInterval* iv : *other) {
+      const TupleCount overlap = cur.range.Intersect(iv->range).size();
+      if (overlap == 0) continue;
+      raw.push_back(take_old
+                        ? TransitionEdge{cur.node, iv->node, overlap}
+                        : TransitionEdge{iv->node, cur.node, overlap});
+    }
+    std::vector<const TaggedInterval*>* own =
+        take_old ? &active_old : &active_new;
+    PruneExpired(own, cur.table, cur.range.start);
+    own->push_back(&cur);
+  }
+
+  std::sort(raw.begin(), raw.end(),
+            [](const TransitionEdge& a, const TransitionEdge& b) {
+              if (a.new_node != b.new_node) return a.new_node < b.new_node;
+              return a.old_node < b.old_node;
+            });
+  for (const TransitionEdge& e : raw) {
+    if (!graph.edges.empty() && graph.edges.back().new_node == e.new_node &&
+        graph.edges.back().old_node == e.old_node) {
+      graph.edges.back().overlap += e.overlap;
+    } else {
+      graph.edges.push_back(e);
+    }
+  }
+  return graph;
+}
+
+std::vector<std::vector<double>> DenseCostMatrix(const TransitionGraph& graph) {
+  const std::size_t n = std::max(graph.n_old, graph.n_new);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  // Base fill: every real new column j costs its full bootstrap |Data(j)|
+  // from any row (real or dummy); dummy columns (decommission) cost 0.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < graph.n_new; ++j) {
+      cost[i][j] = static_cast<double>(graph.new_total[j]);
+    }
+  }
+  // Discount the non-trivial edges: cost(i, j) = |Data(j)| - overlap(i, j).
+  for (const TransitionEdge& e : graph.edges) {
+    NASHDB_DCHECK(e.old_node < graph.n_old && e.new_node < graph.n_new);
+    NASHDB_DCHECK(e.overlap <= graph.new_total[e.new_node]);
+    cost[e.old_node][e.new_node] =
+        static_cast<double>(graph.new_total[e.new_node] - e.overlap);
+  }
+  return cost;
+}
+
+}  // namespace nashdb

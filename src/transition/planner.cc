@@ -4,7 +4,9 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "transition/edge_cost.h"
 #include "transition/hungarian.h"
+#include "transition/sparse_matching.h"
 
 namespace nashdb {
 
@@ -66,58 +68,22 @@ TupleCount NodeData::TuplesNotIn(const NodeData& other) const {
   return missing;
 }
 
-TransitionPlan PlanTransition(const ClusterConfig& old_config,
-                              const ClusterConfig& new_config) {
-  return PlanTransition(old_config, new_config, nullptr);
-}
+namespace {
 
-TransitionPlan PlanTransition(const ClusterConfig& old_config,
-                              const ClusterConfig& new_config,
-                              const std::vector<bool>* old_node_dead) {
-  metrics::ScopedTimerMs timer("transition.plan_ms");
-  const std::size_t n_old = old_config.node_count();
-  const std::size_t n_new = new_config.node_count();
-  TransitionPlan plan;
-  if (n_old == 0 && n_new == 0) return plan;
-
+/// Dense path: the paper's dummy-padded Kuhn–Munkres, with the matrix
+/// materialized from the shared sparse graph (identical integer weights
+/// to the sparse path by construction).
+void SolveDense(const TransitionGraph& graph, TransitionPlan* plan) {
+  const std::size_t n_old = graph.n_old;
+  const std::size_t n_new = graph.n_new;
   const std::size_t n = std::max(n_old, n_new);
+  const std::vector<std::vector<double>> cost = DenseCostMatrix(graph);
 
-  const auto old_dead = [&](std::size_t m) {
-    return old_node_dead != nullptr && m < old_node_dead->size() &&
-           (*old_node_dead)[m];
-  };
-  std::vector<NodeData> old_data, new_data;
-  old_data.reserve(n_old);
-  new_data.reserve(n_new);
-  for (NodeId m = 0; m < n_old; ++m) {
-    // A dead machine contributes nothing: its replicas are unreadable, so
-    // any new node matched to it pays for a full copy from the durable
-    // base store.
-    old_data.push_back(old_dead(m) ? NodeData() : NodeData::Of(old_config, m));
+  AssignmentResult matching;
+  {
+    metrics::ScopedTimerMs solve_timer("transition.solve_ms");
+    matching = SolveAssignment(cost);
   }
-  for (NodeId m = 0; m < n_new; ++m) {
-    new_data.push_back(NodeData::Of(new_config, m));
-  }
-
-  // Cost matrix with dummy vertices padding the smaller side (§7):
-  //   real -> dummy : 0 (decommission; no transfer)
-  //   dummy -> real : |Data(new)| (fresh provision; full copy)
-  //   real -> real  : |Data(new) - Data(old)|
-  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i < n_old && j < n_new) {
-        cost[i][j] =
-            static_cast<double>(new_data[j].TuplesNotIn(old_data[i]));
-      } else if (j < n_new) {
-        cost[i][j] = static_cast<double>(new_data[j].TotalTuples());
-      } else {
-        cost[i][j] = 0.0;  // decommission
-      }
-    }
-  }
-
-  const AssignmentResult matching = SolveAssignment(cost);
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = matching.assignment[i];
@@ -128,10 +94,116 @@ TransitionPlan PlanTransition(const ClusterConfig& old_config,
       continue;  // dummy-dummy pairs cannot arise, but be safe
     }
     move.transfer_tuples = static_cast<TupleCount>(cost[i][j]);
-    if (move.old_node == kInvalidNode) ++plan.nodes_added;
-    if (move.new_node == kInvalidNode) ++plan.nodes_removed;
-    plan.total_transfer_tuples += move.transfer_tuples;
-    plan.moves.push_back(move);
+    if (move.old_node == kInvalidNode) ++plan->nodes_added;
+    if (move.new_node == kInvalidNode) ++plan->nodes_removed;
+    plan->total_transfer_tuples += move.transfer_tuples;
+    plan->moves.push_back(move);
+  }
+  metrics::Count("transition.dense_solves");
+}
+
+/// Sparse path: successive shortest paths over the positive-overlap graph
+/// only. Canonical move order: new nodes ascending (matched or fresh),
+/// then decommissioned old nodes ascending.
+void SolveSparse(const TransitionGraph& graph, TransitionPlan* plan) {
+  SparseMatchingResult matching;
+  {
+    metrics::ScopedTimerMs solve_timer("transition.solve_ms");
+    matching = SolveMaxOverlapMatching(graph);
+  }
+  plan->stats.used_sparse = true;
+  plan->stats.solver_iterations = matching.iterations;
+
+  std::vector<bool> old_used(graph.n_old, false);
+  for (NodeId j = 0; j < graph.n_new; ++j) {
+    const NodeId i = matching.new_to_old[j];
+    NodeTransition move;
+    move.new_node = j;
+    if (i == kInvalidNode) {
+      move.old_node = kInvalidNode;
+      move.transfer_tuples = graph.new_total[j];
+      ++plan->nodes_added;
+    } else {
+      old_used[i] = true;
+      move.old_node = i;
+      // The matched pair's overlap discounts the full copy; find it in
+      // the (new, old)-sorted edge list.
+      const auto it = std::lower_bound(
+          graph.edges.begin(), graph.edges.end(), std::make_pair(j, i),
+          [](const TransitionEdge& e, const std::pair<NodeId, NodeId>& key) {
+            if (e.new_node != key.first) return e.new_node < key.first;
+            return e.old_node < key.second;
+          });
+      NASHDB_CHECK(it != graph.edges.end() && it->new_node == j &&
+                   it->old_node == i)
+          << "sparse plan: matched pair without an overlap edge";
+      move.transfer_tuples = graph.new_total[j] - it->overlap;
+    }
+    plan->total_transfer_tuples += move.transfer_tuples;
+    plan->moves.push_back(move);
+  }
+  for (NodeId i = 0; i < graph.n_old; ++i) {
+    if (old_used[i]) continue;
+    NodeTransition move;
+    move.old_node = i;
+    move.new_node = kInvalidNode;
+    move.transfer_tuples = 0;
+    ++plan->nodes_removed;
+    plan->moves.push_back(move);
+  }
+  // Exactness cross-check, integer arithmetic end to end: total cost ==
+  // bootstrap-everything minus the matching's kept overlap.
+  NASHDB_CHECK(plan->total_transfer_tuples ==
+               graph.TotalNewTuples() - matching.total_overlap)
+      << "sparse plan: per-move costs disagree with the matching objective";
+  metrics::Count("transition.sparse_solves");
+  metrics::Observe("transition.solver_iterations",
+                   static_cast<double>(matching.iterations));
+}
+
+}  // namespace
+
+TransitionPlan PlanTransition(const ClusterConfig& old_config,
+                              const ClusterConfig& new_config) {
+  return PlanTransition(old_config, new_config, nullptr);
+}
+
+TransitionPlan PlanTransition(const ClusterConfig& old_config,
+                              const ClusterConfig& new_config,
+                              const std::vector<bool>* old_node_dead) {
+  return PlanTransition(old_config, new_config, old_node_dead,
+                        TransitionPlannerOptions{});
+}
+
+TransitionPlan PlanTransition(const ClusterConfig& old_config,
+                              const ClusterConfig& new_config,
+                              const std::vector<bool>* old_node_dead,
+                              const TransitionPlannerOptions& options) {
+  metrics::ScopedTimerMs timer("transition.plan_ms");
+  const std::size_t n_old = old_config.node_count();
+  const std::size_t n_new = new_config.node_count();
+  TransitionPlan plan;
+  if (n_old == 0 && n_new == 0) return plan;
+
+  // Both solvers price their edges from this one graph — the single
+  // source of truth for the §7 weight formula (transition/edge_cost.h).
+  TransitionGraph graph;
+  {
+    metrics::ScopedTimerMs build_timer("transition.graph_build_ms");
+    graph = BuildTransitionGraph(old_config, new_config, old_node_dead);
+  }
+  plan.stats.graph_edges = graph.edges.size();
+  metrics::Observe("transition.sparse_edges",
+                   static_cast<double>(graph.edges.size()));
+
+  const bool use_sparse =
+      options.solver == TransitionSolver::kSparse ||
+      (options.solver == TransitionSolver::kAuto &&
+       std::max(n_old, n_new) > options.dense_threshold);
+  if (use_sparse) {
+    SolveSparse(graph, &plan);
+  } else {
+    SolveDense(graph, &plan);
   }
   metrics::Count("transition.plans");
   metrics::Count("transition.planned_transfer_tuples",

@@ -1,6 +1,7 @@
 #ifndef NASHDB_TRANSITION_PLANNER_H_
 #define NASHDB_TRANSITION_PLANNER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.h"
@@ -52,12 +53,47 @@ struct TransitionPlan {
   TupleCount total_transfer_tuples = 0;
   std::size_t nodes_added = 0;
   std::size_t nodes_removed = 0;
+
+  /// How the plan was computed (filled by PlanTransition; purely
+  /// informational — ValidatePlan ignores it).
+  struct SolverStats {
+    bool used_sparse = false;          ///< sparse SSP vs dense Hungarian.
+    std::size_t graph_edges = 0;       ///< positive-overlap edges priced.
+    std::uint64_t solver_iterations = 0;  ///< sparse Dijkstra settles.
+  };
+  SolverStats stats;
+};
+
+/// Which matching solver PlanTransition runs. Both are exact: they
+/// price every edge from the one shared §7 weight function
+/// (transition/edge_cost.h) and produce bit-identical total transfer
+/// costs; only the tie-break among equal-cost plans differs (see
+/// DESIGN.md "Scalable control plane").
+enum class TransitionSolver {
+  /// Dense Hungarian at or below TransitionPlannerOptions::dense_threshold
+  /// nodes, sparse successive-shortest-paths above it.
+  kAuto,
+  /// Dense O(n^3) Kuhn–Munkres on the dummy-padded matrix (the paper's
+  /// formulation, verbatim).
+  kDense,
+  /// Sparse successive-shortest-paths over the positive-overlap graph —
+  /// near-linear when overlaps are local, the only tractable choice at
+  /// thousands of nodes.
+  kSparse,
+};
+
+struct TransitionPlannerOptions {
+  TransitionSolver solver = TransitionSolver::kAuto;
+  /// kAuto runs dense Hungarian when max(|V|, |V'|) <= this (identical
+  /// plans to the historical implementation, cheap at this size) and the
+  /// sparse solver beyond it.
+  std::size_t dense_threshold = 256;
 };
 
 /// Computes the optimal (minimum data transfer) transition from `old_config`
 /// to `new_config` by min-weight perfect matching on the bipartite
-/// old-node/new-node graph, with dummy vertices padding the smaller side
-/// (Kuhn–Munkres, O(max(|V|,|V'|)^3)).
+/// old-node/new-node graph with dummy vertices padding the smaller side.
+/// Solver choice per TransitionPlannerOptions (default kAuto).
 TransitionPlan PlanTransition(const ClusterConfig& old_config,
                               const ClusterConfig& new_config);
 
@@ -70,6 +106,12 @@ TransitionPlan PlanTransition(const ClusterConfig& old_config,
 TransitionPlan PlanTransition(const ClusterConfig& old_config,
                               const ClusterConfig& new_config,
                               const std::vector<bool>* old_node_dead);
+
+/// Full-control overload: failure awareness plus explicit solver choice.
+TransitionPlan PlanTransition(const ClusterConfig& old_config,
+                              const ClusterConfig& new_config,
+                              const std::vector<bool>* old_node_dead,
+                              const TransitionPlannerOptions& options);
 
 }  // namespace nashdb
 

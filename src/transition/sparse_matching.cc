@@ -1,0 +1,250 @@
+#include "transition/sparse_matching.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_annotations.h"
+
+namespace nashdb {
+namespace {
+
+constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+/// (distance, right-vertex id) min-heap entry; pair ordering gives the
+/// documented tie-break for free — equal distances resolve to the lower
+/// id, and the bypass vertex carries the largest id (n_old), so an
+/// equal-cost real match always wins over a fresh bootstrap.
+using HeapEntry = std::pair<std::int64_t, std::uint32_t>;
+
+/// All solver working memory, allocated once per solve and reused across
+/// the n_new augmentations; the hot loops below only index into it.
+struct SolverScratch {
+  // CSR adjacency of the positive-overlap graph, rows = new nodes.
+  std::vector<std::size_t> row_start;
+  std::vector<std::uint32_t> col;
+  std::vector<std::int64_t> weight;
+
+  // Dual potentials: u on new (left) nodes, v on old (right) nodes plus
+  // the bypass vertex at index n_old. Invariant: every edge's reduced
+  // cost c(j, i) - u[j] - v[i] >= 0, matched edges tight (== 0).
+  std::vector<std::int64_t> u, v;
+
+  std::vector<std::int64_t> dist;
+  std::vector<std::uint32_t> prev;       ///< settled predecessor right vertex
+  std::vector<std::uint32_t> match_r;    ///< right -> left (kNone when free)
+  std::vector<unsigned char> settled;
+  std::vector<std::uint32_t> settle_order;
+  std::vector<std::uint32_t> touched;    ///< right vertices with dist set
+  std::vector<HeapEntry> heap;
+
+  std::size_t settle_count = 0;
+  std::size_t touched_count = 0;
+  std::size_t heap_size = 0;
+};
+
+NASHDB_HOT void HeapPush(HeapEntry* heap, std::size_t* size, std::int64_t d,
+                         std::uint32_t id) {
+  std::size_t i = (*size)++;
+  heap[i] = HeapEntry{d, id};
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 2;
+    if (!(heap[i] < heap[p])) break;
+    std::swap(heap[i], heap[p]);
+    i = p;
+  }
+}
+
+NASHDB_HOT HeapEntry HeapPop(HeapEntry* heap, std::size_t* size) {
+  const HeapEntry top = heap[0];
+  const std::size_t n = --(*size);
+  heap[0] = heap[n];
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    std::size_t c = l;
+    if (l + 1 < n && heap[l + 1] < heap[l]) c = l + 1;
+    if (!(heap[c] < heap[i])) break;
+    std::swap(heap[i], heap[c]);
+    i = c;
+  }
+  return top;
+}
+
+/// Offers right vertex `i` at tentative distance `d` with predecessor
+/// `from` (kNone when reached directly from the root row).
+NASHDB_HOT void Relax(SolverScratch& s, std::uint32_t i, std::int64_t d,
+                      std::uint32_t from) {
+  if (s.settled[i] || d >= s.dist[i]) return;
+  if (s.dist[i] == kInf) s.touched[s.touched_count++] = i;
+  s.dist[i] = d;
+  s.prev[i] = from;
+  HeapPush(s.heap.data(), &s.heap_size, d, i);
+}
+
+/// One SSP augmentation: Dijkstra over reduced costs from new node `root`
+/// until the first *free* right vertex settles (the bypass vertex is
+/// always free, so a terminal always exists). Returns the terminal.
+/// Early termination is what keeps typical augmentations O(deg * log)
+/// instead of touching the whole graph. Allocation-free: every container
+/// was sized by the caller.
+NASHDB_HOT std::uint32_t Augment(SolverScratch& s, std::uint32_t n_old,
+                                 std::uint32_t root,
+                                 std::uint64_t* settle_ops) {
+  const std::uint32_t bypass = n_old;
+  // Seed with the root row: rc(root, i) = -w - u[root] - v[i], and the
+  // bypass edge rc(root, bypass) = -u[root] (its weight is 0, v fixed 0).
+  for (std::size_t e = s.row_start[root]; e < s.row_start[root + 1]; ++e) {
+    const std::uint32_t i = s.col[e];
+    Relax(s, i, -s.weight[e] - s.u[root] - s.v[i], kNone);
+  }
+  Relax(s, bypass, -s.u[root] - s.v[bypass], kNone);
+
+  while (s.heap_size > 0) {
+    const HeapEntry top = HeapPop(s.heap.data(), &s.heap_size);
+    const std::uint32_t i = top.second;
+    if (s.settled[i] || top.first != s.dist[i]) continue;  // stale entry
+    s.settled[i] = 1;
+    s.settle_order[s.settle_count++] = i;
+    ++(*settle_ops);
+    if (i == bypass || s.match_r[i] == kNone) return i;  // free: terminal
+    // Continue the alternating path through the left node matched to i;
+    // the matched edge is tight, so stepping across it costs nothing.
+    const std::uint32_t j = s.match_r[i];
+    const std::int64_t base = s.dist[i];
+    for (std::size_t e = s.row_start[j]; e < s.row_start[j + 1]; ++e) {
+      const std::uint32_t i2 = s.col[e];
+      Relax(s, i2, base - s.weight[e] - s.u[j] - s.v[i2], i);
+    }
+    Relax(s, bypass, base - s.u[j] - s.v[bypass], i);
+  }
+  NASHDB_CHECK(false) << "sparse matching: no augmenting path from new node "
+                      << root << " (bypass vertex unreachable)";
+  return kNone;
+}
+
+}  // namespace
+
+SparseMatchingResult SolveMaxOverlapMatching(const TransitionGraph& graph) {
+  SparseMatchingResult result;
+  const std::size_t n_new = graph.n_new;
+  const std::size_t n_old = graph.n_old;
+  result.new_to_old.assign(n_new, kInvalidNode);
+  if (n_new == 0) return result;
+
+  SolverScratch s;
+  const std::size_t n_right = n_old + 1;  // + bypass vertex
+  const std::size_t n_edges = graph.edges.size();
+
+  // CSR rows keyed by new node: graph.edges is sorted by
+  // (new_node, old_node), so one counting pass builds the offsets and the
+  // columns land already sorted by old id.
+  s.row_start.assign(n_new + 1, 0);
+  s.col.resize(n_edges);
+  s.weight.resize(n_edges);
+  for (const TransitionEdge& e : graph.edges) {
+    NASHDB_CHECK(e.old_node < n_old && e.new_node < n_new && e.overlap > 0)
+        << "sparse matching: malformed transition edge";
+    ++s.row_start[e.new_node + 1];
+  }
+  for (std::size_t j = 0; j < n_new; ++j) s.row_start[j + 1] += s.row_start[j];
+  {
+    std::vector<std::size_t> fill = s.row_start;
+    for (const TransitionEdge& e : graph.edges) {
+      const std::size_t at = fill[e.new_node]++;
+      s.col[at] = e.old_node;
+      s.weight[at] = static_cast<std::int64_t>(e.overlap);
+    }
+  }
+
+  // Initial feasible potentials: v == 0 everywhere and u[j] = -max row
+  // weight, which makes every reduced cost max_w(j) - w(j, i) >= 0 and
+  // the bypass edge max_w(j) >= 0.
+  s.u.assign(n_new, 0);
+  s.v.assign(n_right, 0);
+  for (std::size_t j = 0; j < n_new; ++j) {
+    std::int64_t maxw = 0;
+    for (std::size_t e = s.row_start[j]; e < s.row_start[j + 1]; ++e) {
+      maxw = std::max(maxw, s.weight[e]);
+    }
+    s.u[j] = -maxw;
+  }
+
+  s.dist.assign(n_right, kInf);
+  s.prev.assign(n_right, kNone);
+  s.match_r.assign(n_right, kNone);
+  s.settled.assign(n_right, 0);
+  s.settle_order.resize(n_right);
+  s.touched.resize(n_right);
+  // Push bound per augmentation: the seed row (deg + 1 entries) plus one
+  // scan per settled vertex's matched row (sums to <= |E|) plus one
+  // bypass offer per settle.
+  s.heap.resize(n_edges + 2 * n_right + 2);
+
+  const std::uint32_t bypass = static_cast<std::uint32_t>(n_old);
+  for (std::uint32_t root = 0; root < n_new; ++root) {
+    s.settle_count = 0;
+    s.touched_count = 0;
+    s.heap_size = 0;
+    const std::uint32_t t = Augment(s, bypass, root, &result.iterations);
+
+    // Dual update (standard SSP with early termination): shift every
+    // settled vertex's potential by its final label relative to the
+    // terminal's distance D; unsettled vertices keep theirs. This keeps
+    // all reduced costs non-negative and every matched edge tight.
+    const std::int64_t D = s.dist[t];
+    for (std::size_t k = 0; k < s.settle_count; ++k) {
+      const std::uint32_t i = s.settle_order[k];
+      const std::int64_t di = s.dist[i];
+      s.v[i] += di - D;
+      if (i != bypass && s.match_r[i] != kNone) s.u[s.match_r[i]] += D - di;
+    }
+    s.u[root] += D;
+
+    // Flip the matching along the shortest alternating path (terminal
+    // back to the root via the predecessor chain). The bypass vertex has
+    // infinite capacity: matching into it just records a fresh bootstrap.
+    std::uint32_t i = t;
+    while (true) {
+      const std::uint32_t from = s.prev[i];
+      const std::uint32_t j = from == kNone ? root : s.match_r[from];
+      if (i == bypass) {
+        result.new_to_old[j] = kInvalidNode;
+      } else {
+        s.match_r[i] = j;
+        result.new_to_old[j] = i;
+      }
+      if (from == kNone) break;
+      i = from;
+    }
+
+    // O(touched) reset for the next augmentation.
+    for (std::size_t k = 0; k < s.touched_count; ++k) {
+      const std::uint32_t r = s.touched[k];
+      s.dist[r] = kInf;
+      s.prev[r] = kNone;
+      s.settled[r] = 0;
+    }
+  }
+
+  // Total kept overlap: look each matched pair's weight up in its CSR row
+  // (columns are sorted by old id).
+  for (std::uint32_t j = 0; j < n_new; ++j) {
+    const NodeId i = result.new_to_old[j];
+    if (i == kInvalidNode) continue;
+    const auto begin = s.col.begin() + static_cast<std::ptrdiff_t>(s.row_start[j]);
+    const auto end = s.col.begin() + static_cast<std::ptrdiff_t>(s.row_start[j + 1]);
+    const auto it = std::lower_bound(begin, end, i);
+    NASHDB_CHECK(it != end && *it == i)
+        << "sparse matching: matched pair has no overlap edge";
+    result.total_overlap += static_cast<TupleCount>(
+        s.weight[static_cast<std::size_t>(it - s.col.begin())]);
+  }
+  return result;
+}
+
+}  // namespace nashdb

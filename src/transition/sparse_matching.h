@@ -1,0 +1,52 @@
+#ifndef NASHDB_TRANSITION_SPARSE_MATCHING_H_
+#define NASHDB_TRANSITION_SPARSE_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "transition/edge_cost.h"
+
+namespace nashdb {
+
+/// Sparse exact solver for the §7 minimum-transfer matching.
+///
+/// The dummy-padded dense problem (planner.h) reduces exactly to a
+/// maximum-weight partial matching on the positive-overlap graph: with
+/// M the set of matched (old, new) pairs,
+///   total cost = sum_j |Data(j)|  -  sum_{(i,j) in M} overlap(i, j),
+/// because an unmatched new node pays its full bootstrap |Data(j)|, an
+/// unmatched old node decommissions for free, and a matched pair pays
+/// |Data(j)| - overlap(i, j). Minimizing cost == maximizing kept overlap.
+/// The solver therefore runs successive shortest paths (SSP) on the
+/// sparse graph only: left vertices are the new nodes, right vertices the
+/// old nodes plus one infinite-capacity bypass vertex ("fresh bootstrap",
+/// weight 0) standing in for the entire dummy block of the dense matrix.
+/// See DESIGN.md "Scalable control plane" for the exactness and
+/// termination argument.
+///
+/// Determinism / tie-breaks (the documented plan canonicalization):
+///   - new nodes are assigned in ascending id order;
+///   - Dijkstra ties resolve to the lower old-node id, with the bypass
+///     vertex ordered after every real node (equal-cost real matches win
+///     over a fresh bootstrap);
+///   - zero-overlap pairs are never matched — such an edge does not exist
+///     in the graph, and routing through the bypass vertex instead is
+///     always cost-neutral (both price at the full |Data(j)|).
+struct SparseMatchingResult {
+  /// For each new node j: the old node matched to it, or kInvalidNode for
+  /// a fresh bootstrap (no positive-overlap partner was worth keeping).
+  std::vector<NodeId> new_to_old;
+  /// Sum of overlap(i, j) over matched pairs; the plan's total cost is
+  /// graph.TotalNewTuples() - total_overlap.
+  TupleCount total_overlap = 0;
+  /// Dijkstra settle operations across all augmentations (the solver's
+  /// work measure; exported as transition.solver_iterations).
+  std::uint64_t iterations = 0;
+};
+
+SparseMatchingResult SolveMaxOverlapMatching(const TransitionGraph& graph);
+
+}  // namespace nashdb
+
+#endif  // NASHDB_TRANSITION_SPARSE_MATCHING_H_

@@ -8,10 +8,12 @@
 #
 # Usage: tools/check.sh [--quick | --static | --bench-smoke]
 #   --quick    in the sanitizer passes, run only the targeted labels
-#              (ctest -L 'tsan|online' for TSan, -L faults for
-#              ASan/UBSan) instead of the full suite. The online label
-#              marks the online-reconfiguration suites (epoch publish
-#              concurrent with routing, DESIGN.md 12).
+#              (ctest -L 'tsan|online|transition' for TSan, -L faults
+#              for ASan/UBSan) instead of the full suite. The online
+#              label marks the online-reconfiguration suites (epoch
+#              publish concurrent with routing, DESIGN.md 12); the
+#              transition label marks the control-plane matching /
+#              packing / validation suites (DESIGN.md 15).
 #   --static   the static gates only, no tests. In order, with a distinct
 #              exit code per gate so CI and humans can tell at a glance
 #              which one broke:
@@ -30,14 +32,17 @@
 #                    the NASHDB_GUARDED_BY / NASHDB_REQUIRES annotations
 #                    (skipped without clang++; GCC lacks the analysis).
 #   --bench-smoke
-#              build and run bench_query_path --smoke and
-#              bench_data_plane --smoke in the plain Release tree and
-#              validate the BENCH_query_path.json / BENCH_data_plane.json
-#              they write (CI runs this and uploads both JSONs as
-#              artifacts). Smoke iteration counts keep it to seconds; the
-#              numbers are noise-level, the point is that the benches
-#              run, the route-identity checks inside them pass, and the
-#              JSON is well-formed.
+#              build and run bench_query_path --smoke,
+#              bench_data_plane --smoke, and bench_transition_scale
+#              --smoke in the plain Release tree and validate the
+#              BENCH_query_path.json / BENCH_data_plane.json /
+#              BENCH_transition.json they write (CI runs this and
+#              uploads the JSONs as artifacts). Smoke iteration counts
+#              keep it to seconds; the numbers are noise-level, the
+#              point is that the benches run, the identity checks
+#              inside them pass (route identity for the query path,
+#              sparse-vs-dense plan-cost identity for the transition
+#              sweep), and the JSON is well-formed.
 #
 # Unknown flags are an error — a typo like --qick silently running the
 # slow full suite (or worse, skipping it) is exactly the failure mode a
@@ -142,7 +147,33 @@ EOF
     echo "bench artifact OK (grep fallback)"
   fi
   echo
-  echo "check.sh: bench smoke green (${out}, ${dp_out})"
+  echo "== transition-scale bench (smoke) =="
+  cmake --build build -j "${JOBS}" --target bench_transition_scale
+  tr_out="BENCH_transition.json"
+  ./build/bench/bench_transition_scale --smoke --out="${tr_out}"
+  # Validate: parseable JSON; every size planned and validated, and the
+  # sparse-vs-dense plan-cost identity was exercised on at least one
+  # instance (the bench itself CHECK-fails on any mismatch).
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${tr_out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "transition_scale", doc
+assert doc["results"], doc
+for r in doc["results"]:
+    assert r["nodes_new"] > 0 and r["fragments"] > 0, r
+    assert r["plan_ms"] > 0 and r["validate_ms"] > 0, r
+assert any(r["cost_identity_checked"] for r in doc["results"]), doc
+print("bench artifact OK:", len(doc["results"]), "sizes")
+EOF
+  else
+    grep -q '"bench": "transition_scale"' "${tr_out}"
+    grep -q '"cost_identity_checked": true' "${tr_out}"
+    echo "bench artifact OK (grep fallback)"
+  fi
+  echo
+  echo "check.sh: bench smoke green (${out}, ${dp_out}, ${tr_out})"
   exit 0
 fi
 
@@ -218,7 +249,7 @@ sanitized_pass() {
       --no-tests=error --output-on-failure -j "${JOBS}"
 }
 
-sanitized_pass tsan thread 'tsan|online'
+sanitized_pass tsan thread 'tsan|online|transition'
 
 # The sharded data plane's real concurrency — one SPSC ring per shard,
 # consumers against a shared read-only epoch — under TSan: one tpch run
